@@ -1,0 +1,87 @@
+//! Criterion benchmarks of collective evaluation: the round model at full
+//! scale (the workhorse of every figure sweep) vs the exact DES at small
+//! scale, plus workload-skeleton evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hxmpi::{estimate, Fabric, Placement, Pml, RoundProgram, ScheduleBuilder};
+use hxroute::engines::{Dfsssp, RoutingEngine};
+use hxroute::Routes;
+use hxsim::{NetParams, Simulator};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{NodeId, Topology};
+
+fn setup_full() -> (Topology, Routes) {
+    let topo = HyperXConfig::t2_hyperx(672).build();
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    (topo, routes)
+}
+
+fn fabric<'a>(topo: &'a Topology, routes: &'a Routes, n: usize) -> Fabric<'a> {
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    Fabric::new(
+        topo,
+        routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        NetParams::qdr(),
+    )
+}
+
+fn round_model(c: &mut Criterion) {
+    let (topo, routes) = setup_full();
+    let mut g = c.benchmark_group("estimate/round_model");
+    g.sample_size(10);
+    for n in [56usize, 672] {
+        let f = fabric(&topo, &routes, n);
+        // Warm the path cache so the benchmark measures the steady state.
+        let mut warm = RoundProgram::new(n);
+        warm.alltoall(1 << 20);
+        estimate(&f, &warm);
+        g.bench_with_input(BenchmarkId::new("alltoall_4MiB", n), &f, |b, f| {
+            b.iter(|| {
+                let mut rp = RoundProgram::new(n);
+                rp.alltoall(4 << 20);
+                estimate(f, &rp)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_ring", n), &f, |b, f| {
+            b.iter(|| {
+                let mut rp = RoundProgram::new(n);
+                rp.allreduce_ring(64 << 20);
+                estimate(f, &rp)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn exact_des(c: &mut Criterion) {
+    let (topo, routes) = setup_full();
+    let mut g = c.benchmark_group("estimate/exact_des");
+    g.sample_size(10);
+    let n = 32;
+    let f = fabric(&topo, &routes, n);
+    g.bench_function("alltoall_256KiB_32r", |b| {
+        b.iter(|| {
+            let mut sb = ScheduleBuilder::new(n);
+            sb.alltoall(256 << 10);
+            Simulator::new(&topo, &f, NetParams::qdr()).run(&sb.build())
+        })
+    });
+    g.finish();
+}
+
+fn workload_skeletons(c: &mut Criterion) {
+    let (topo, routes) = setup_full();
+    let mut g = c.benchmark_group("estimate/workloads");
+    g.sample_size(10);
+    let f = fabric(&topo, &routes, 672);
+    for w in hxload::proxy::all_proxies() {
+        // SWFFT/Qbox at 672 are the heaviest skeletons.
+        g.bench_function(w.name(), |b| b.iter(|| w.kernel_seconds(&f, 672)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, round_model, exact_des, workload_skeletons);
+criterion_main!(benches);

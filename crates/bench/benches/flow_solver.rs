@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the max-min fair flow solver and the fluid
+//! network — DESIGN.md §3's "hybrid simulation" ablation: the flow-level
+//! model must be cheap enough for 672-node sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hxroute::engines::{Dfsssp, RoutingEngine};
+use hxroute::DirLink;
+use hxsim::flow::{directed_capacities, max_min_rates, FlowSpec};
+use hxsim::FluidNet;
+use hxtopo::hyperx::HyperXConfig;
+
+/// A shift-permutation flow set at the given scale.
+fn permutation_flows(n_nodes: usize, shift: usize) -> (hxtopo::Topology, Vec<Vec<DirLink>>) {
+    let topo = HyperXConfig::t2_hyperx(672).build();
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let flows: Vec<Vec<DirLink>> = (0..n_nodes)
+        .map(|i| {
+            let src = hxtopo::NodeId(i as u32);
+            let dst = hxtopo::NodeId(((i + shift) % n_nodes) as u32);
+            routes.path_to(&topo, src, dst, 0).unwrap().hops
+        })
+        .collect();
+    (topo, flows)
+}
+
+fn solver_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow/max_min");
+    for n in [56usize, 224, 672] {
+        let (topo, flows) = permutation_flows(n, 7);
+        let caps = directed_capacities(&topo);
+        let refs: Vec<&[DirLink]> = flows.iter().map(|f| f.as_slice()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            b.iter(|| max_min_rates(&caps, refs))
+        });
+    }
+    g.finish();
+}
+
+fn fluid_completion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow/fluid_complete");
+    g.sample_size(10);
+    for n in [56usize, 224] {
+        let (topo, flows) = permutation_flows(n, 7);
+        let specs: Vec<FlowSpec> = flows
+            .into_iter()
+            .map(|path| FlowSpec {
+                path,
+                bytes: 1 << 20,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
+            b.iter(|| FluidNet::complete_times(&topo, specs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, solver_scaling, fluid_completion);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the routing engines: forwarding-table
+//! computation cost per engine and topology size (an OpenSM routing pass
+//! on the real system takes seconds; ours should too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hxroute::engines::{Dfsssp, Ftree, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+use hxtopo::fattree::FatTreeConfig;
+use hxtopo::hyperx::HyperXConfig;
+
+fn hyperx_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route/hyperx");
+    g.sample_size(10);
+    for (label, shape, t) in [("6x4-t2", vec![6u32, 4], 2u32), ("12x8-t7", vec![12, 8], 7)] {
+        let topo = HyperXConfig::new(shape, t).build();
+        let engines: Vec<(&str, Box<dyn RoutingEngine>)> = vec![
+            ("minhop", Box::new(MinHop::default())),
+            ("sssp", Box::new(Sssp::default())),
+            ("dfsssp", Box::new(Dfsssp::default())),
+            ("updown", Box::new(UpDown::default())),
+            ("parx", Box::new(Parx::default())),
+        ];
+        for (name, engine) in engines {
+            g.bench_with_input(
+                BenchmarkId::new(name, label),
+                &topo,
+                |b, topo| b.iter(|| engine.route(topo).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fattree_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route/fattree");
+    g.sample_size(10);
+    let topo = FatTreeConfig::tsubame2(672);
+    g.bench_function("ftree/t2-672", |b| b.iter(|| Ftree.route(&topo).unwrap()));
+    g.bench_function("sssp/t2-672", |b| {
+        b.iter(|| Sssp::default().route(&topo).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hyperx_engines, fattree_engines);
+criterion_main!(benches);

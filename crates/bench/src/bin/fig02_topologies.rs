@@ -1,0 +1,48 @@
+//! Figure 2 — topology structure validation: the 4-ary 2-tree (Fig. 2a),
+//! the 4x4 HyperX (Fig. 2b), and the two production planes of the rewired
+//! system (Fig. 2c / Section 2.3).
+
+use hxtopo::fattree::FatTreeConfig;
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{FaultPlan, TopologyProps};
+
+fn show(name: &str, t: &hxtopo::Topology) {
+    let p = TopologyProps::compute(t);
+    println!(
+        "{name:<28} switches {:>4}  nodes {:>4}  ISLs {:>5}  diameter {:>2}  \
+         avg path {:>4.2}  bisection {:>5.1}%",
+        p.switches,
+        p.nodes,
+        p.isl,
+        p.diameter,
+        p.avg_path,
+        p.bisection_ratio * 100.0
+    );
+}
+
+fn main() {
+    println!("# Figure 2: topology structure\n");
+
+    println!("## Textbook examples (Fig. 2a / 2b)");
+    show("4-ary 2-tree", &FatTreeConfig::k_ary_n_tree(4, 2));
+    show("4x4 HyperX (T=2)", &HyperXConfig::new(vec![4, 4], 2).build());
+
+    println!("\n## Production planes (Sec. 2.3), pristine");
+    let ft = FatTreeConfig::tsubame2(672);
+    let hx = HyperXConfig::t2_hyperx(672).build();
+    show("Fat-Tree plane", &ft);
+    show("12x8 HyperX plane (T=7)", &hx);
+    println!("paper: HyperX bisection 57.1%, Fat-Tree > 100% (undersubscribed leaves)");
+
+    println!("\n## As deployed (with the paper's cable faults)");
+    let mut ftf = FatTreeConfig::tsubame2(672);
+    let rm_ft = FaultPlan::t2_fattree().apply(&mut ftf);
+    let mut hxf = HyperXConfig::t2_hyperx(672).build();
+    let rm_hx = FaultPlan::t2_hyperx().apply(&mut hxf);
+    show(
+        &format!("Fat-Tree (-{} cables)", rm_ft.len()),
+        &ftf,
+    );
+    show(&format!("HyperX (-{} AOCs)", rm_hx.len()), &hxf);
+    println!("paper: 15/684 HyperX AOCs absent; 197/2662 Fat-Tree links absent (fraction preserved)");
+}

@@ -1,0 +1,68 @@
+//! Figure 4 — IMB collective latency grids: relative performance gain of
+//! each combo over the Fat-Tree/ftree/linear baseline, for Bcast, Gather,
+//! Scatter, Reduce, Allreduce and Alltoall, over message sizes 1 B–4 MiB
+//! and 7–672 nodes (best of 10 runs, i.e. the noiseless estimate).
+
+use hxbench::{build_full, series7, thin_sizes};
+use hxcore::report::gain_grid;
+use hxcore::Combo;
+use hxload::imb::ImbCollective;
+use rayon::prelude::*;
+
+fn main() {
+    let sys = build_full();
+    let counts = series7();
+
+    for coll in ImbCollective::figure4() {
+        let sizes = thin_sizes(coll.message_sizes());
+
+        // Latency grid per combo: grid[combo][size][count], all combos
+        // sharing one warmed fabric per (combo, count).
+        let grids: Vec<Vec<Vec<f64>>> = Combo::all()
+            .into_iter()
+            .map(|combo| {
+                counts
+                    .par_iter()
+                    .map(|&n| {
+                        let fabric = sys.fabric(combo, n, 0x7258);
+                        sizes
+                            .iter()
+                            .map(|&bytes| coll.latency_us(&fabric, n, bytes))
+                            .collect::<Vec<f64>>()
+                    })
+                    .collect::<Vec<_>>() // [count][size]
+            })
+            .map(|by_count: Vec<Vec<f64>>| {
+                // Transpose to [size][count].
+                (0..sizes.len())
+                    .map(|si| by_count.iter().map(|row| row[si]).collect())
+                    .collect()
+            })
+            .collect();
+
+        for (ci, combo) in Combo::all().into_iter().enumerate().skip(1) {
+            let cells: Vec<Vec<Option<f64>>> = (0..sizes.len())
+                .map(|si| {
+                    (0..counts.len())
+                        .map(|ni| Some(grids[0][si][ni] / grids[ci][si][ni] - 1.0))
+                        .collect()
+                })
+                .collect();
+            println!(
+                "{}",
+                gain_grid(
+                    &format!(
+                        "{} — {} (gain vs {})",
+                        coll.name(),
+                        combo.label(),
+                        Combo::baseline().short()
+                    ),
+                    "msg bytes",
+                    &sizes,
+                    &counts,
+                    &cells,
+                )
+            );
+        }
+    }
+}

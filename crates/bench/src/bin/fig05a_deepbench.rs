@@ -1,0 +1,47 @@
+//! Figure 5a — Baidu DeepBench ring allreduce: relative gain over the
+//! Fat-Tree/ftree/linear baseline for array lengths 0–512 Mi floats over
+//! 7–672 nodes.
+
+use hxbench::{build_full, series7};
+use hxcore::report::gain_grid;
+use hxcore::Combo;
+use hxload::deepbench::{allreduce_latency, deepbench_lengths};
+use rayon::prelude::*;
+
+fn main() {
+    let sys = build_full();
+    let counts = series7();
+    let lengths = deepbench_lengths();
+
+    // Precompute baseline latencies.
+    let latency = |combo: Combo, n: usize, len: u64| {
+        let fabric = sys.fabric(combo, n, 0x7258);
+        allreduce_latency(&fabric, n, len)
+    };
+
+    for combo in Combo::all().into_iter().skip(1) {
+        let cells: Vec<Vec<Option<f64>>> = lengths
+            .par_iter()
+            .map(|&len| {
+                counts
+                    .iter()
+                    .map(|&n| {
+                        let base = latency(Combo::baseline(), n, len);
+                        let new = latency(combo, n, len);
+                        Some(base / new - 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        println!(
+            "{}",
+            gain_grid(
+                &format!("DeepBench AllR — {} (gain vs baseline)", combo.label()),
+                "floats",
+                &lengths,
+                &counts,
+                &cells,
+            )
+        );
+    }
+}

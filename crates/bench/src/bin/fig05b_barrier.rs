@@ -1,0 +1,31 @@
+//! Figure 5b — IMB Barrier latency whiskers for all five combos over
+//! 7–672 nodes. The headline result: PARX (through the bfo PML penalty)
+//! slows Barrier 2.8x–6.9x, i.e. gains of -0.65..-0.85 vs the baseline.
+
+use hxbench::{build_full, series7};
+use hxcore::report::fmt_whisker;
+use hxcore::{Combo, Runner};
+use hxload::imb::ImbCollective;
+
+fn main() {
+    let sys = build_full();
+    let runner = Runner::default();
+    let counts = series7();
+
+    println!("# Figure 5b: IMB Barrier latency [us], whiskers of 10 runs\n");
+    for combo in Combo::all() {
+        println!("## {}", combo.label());
+        for &n in &counts {
+            let w = runner.imb_whisker_us(&sys, combo, ImbCollective::Barrier, n, 0);
+            let base = runner.imb_tmin_us(&sys, Combo::baseline(), ImbCollective::Barrier, n, 0);
+            let new = runner.imb_tmin_us(&sys, combo, ImbCollective::Barrier, n, 0);
+            println!(
+                "  n={n:>4}  gain {:+.2}  {}",
+                base / new - 1.0,
+                fmt_whisker(Some(w), "us")
+            );
+        }
+        println!();
+    }
+    println!("paper: PARX gains -0.65 .. -0.85 at all scales (bfo PML overhead)");
+}

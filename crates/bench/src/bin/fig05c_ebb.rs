@@ -1,0 +1,45 @@
+//! Figure 5c — Netgauge effective bisection bandwidth: whiskers over the
+//! random-bisection samples for every combo and node count.
+//!
+//! Paper shape: PARX nearly doubles (~1.9x) the 14-node dense-pair case,
+//! wins 2–6% over the baseline at mid-range counts, and loses 12–24% at
+//! full scale where its forced detours consume global capacity.
+
+use hxbench::{build_full, ebb_samples, quick};
+use hxcore::report::fmt_whisker;
+use hxcore::Combo;
+use hxload::ebb::{effective_bisection_bandwidth, EBB_BYTES};
+use hxsim::Whisker;
+
+fn main() {
+    let sys = build_full();
+    let samples = ebb_samples();
+    // The paper's mixed series: switch-aligned and power-of-two counts.
+    let counts: Vec<usize> = if quick() {
+        vec![14, 16, 64, 112]
+    } else {
+        vec![4, 7, 8, 14, 16, 28, 32, 56, 64, 112, 128, 224, 256, 448, 512, 672]
+    };
+
+    println!("# Figure 5c: effective bisection bandwidth [GiB/s], {samples} samples, 1 MiB\n");
+    let mut baseline = vec![0.0f64; counts.len()];
+    for combo in Combo::all() {
+        println!("## {}", combo.label());
+        for (i, &n) in counts.iter().enumerate() {
+            let fabric = sys.fabric(combo, n, 0x7258);
+            let s = effective_bisection_bandwidth(&fabric, n, EBB_BYTES, samples, 42);
+            let w = Whisker::of(&s);
+            if combo == Combo::baseline() {
+                baseline[i] = w.max;
+            }
+            let gain = if baseline[i] > 0.0 {
+                w.max / baseline[i] - 1.0
+            } else {
+                0.0
+            };
+            println!("  n={n:>4}  gain {gain:+.2}  {}", fmt_whisker(Some(w), "GiB/s"));
+        }
+        println!();
+    }
+    println!("paper: PARX ~+0.9 at n=14, +0.02..+0.06 mid-range, -0.12..-0.24 at 448-672");
+}

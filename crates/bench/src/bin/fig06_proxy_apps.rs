@@ -1,0 +1,43 @@
+//! Figure 6a–i — the nine proxy applications: kernel-runtime whiskers of
+//! 10 runs per combo and node count (lower is better); runs beyond the
+//! 15-minute walltime are dropped, matching the paper's missing points.
+
+use hxbench::{build_full, quick};
+use hxcore::report::fmt_whisker;
+use hxcore::{Combo, Runner};
+use hxload::proxy::all_proxies;
+
+fn main() {
+    let sys = build_full();
+    let runner = Runner::default();
+
+    for w in all_proxies() {
+        let mut counts = w.node_counts(sys.num_nodes());
+        if quick() {
+            counts = counts.into_iter().step_by(3).collect();
+        }
+        println!("# Figure 6 — {} (kernel runtime [s], lower is better)", w.name());
+        for combo in Combo::all() {
+            println!("## {}", combo.label());
+            for &n in &counts {
+                let s = runner.run(&sys, combo, w.as_ref(), n);
+                let base = runner
+                    .run(&sys, Combo::baseline(), w.as_ref(), n)
+                    .best(false);
+                let gain = match (base, s.best(false)) {
+                    (Some(b), Some(v)) => format!("{:+.2}", b / v - 1.0),
+                    (Some(_), None) => "-Inf".into(),
+                    (None, Some(_)) => "+Inf".into(),
+                    (None, None) => "   .".into(),
+                };
+                println!(
+                    "  n={n:>4}  gain {gain:>6}  {} ({}/{} runs)",
+                    fmt_whisker(s.whisker(), "s"),
+                    s.values.len(),
+                    s.attempted
+                );
+            }
+        }
+        println!();
+    }
+}

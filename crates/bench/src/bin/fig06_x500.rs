@@ -1,0 +1,45 @@
+//! Figure 6j–l — the x500 benchmarks: HPL and HPCG compute performance
+//! (Gflop/s) and Graph500 traversal speed (median GTEPS); higher is better.
+
+use hxbench::{build_full, quick};
+use hxcore::report::fmt_whisker;
+use hxcore::{Combo, Runner};
+use hxload::x500::all_x500;
+
+fn main() {
+    let sys = build_full();
+    let runner = Runner::default();
+
+    for w in all_x500() {
+        let mut counts = w.node_counts(sys.num_nodes());
+        if quick() {
+            counts = counts.into_iter().step_by(3).collect();
+        }
+        let unit = match w.metric() {
+            hxload::workload::MetricKind::Gteps => "GTEPS",
+            _ => "Gflop/s",
+        };
+        println!("# Figure 6 — {} ({unit}, higher is better)", w.name());
+        for combo in Combo::all() {
+            println!("## {}", combo.label());
+            for &n in &counts {
+                let s = runner.run(&sys, combo, w.as_ref(), n);
+                let base = runner.run(&sys, Combo::baseline(), w.as_ref(), n).best(true);
+                let gain = match (base, s.best(true)) {
+                    (Some(b), Some(v)) => format!("{:+.2}", v / b - 1.0),
+                    (Some(_), None) => "-Inf".into(),
+                    (None, Some(_)) => "+Inf".into(),
+                    (None, None) => "   .".into(),
+                };
+                println!(
+                    "  n={n:>4}  gain {gain:>6}  {} ({}/{} runs)",
+                    fmt_whisker(s.whisker(), unit),
+                    s.values.len(),
+                    s.attempted
+                );
+            }
+        }
+        println!();
+    }
+    println!("paper best cases: HPL +0.46 (HX/random), HPCG +0.36, Graph500 +0.07");
+}

@@ -1,0 +1,47 @@
+//! Figure 7 — capacity throughput: the 14-application mix runs for three
+//! simulated hours per combo on 664 of the 672 nodes; the output is the
+//! completed-run count per application.
+//!
+//! Paper totals: FT/ftree/linear 1202, FT/SSSP/clustered 980,
+//! HX/DFSSSP/linear 1355 (best, +12.7%), HX/DFSSSP/random 1017,
+//! HX/PARX/clustered 1233.
+
+use hxbench::build_full;
+use hxcap::{paper_mix, CapacityConfig};
+use hxcore::{run_capacity_combo, Combo};
+
+fn main() {
+    let sys = build_full();
+    let cfg = CapacityConfig::default();
+
+    println!("# Figure 7: completed runs per application in 3 h (664 nodes, 14 apps)\n");
+    
+    let mut totals = Vec::new();
+    for combo in Combo::all() {
+        let mix = paper_mix();
+        let res = run_capacity_combo(&sys, combo, &mix, &cfg, 0x7258);
+        println!("## {}", combo.label());
+        for a in &res.apps {
+            println!(
+                "  {:<5} ({:>2} nodes): {:>4} runs   (run time {:>6.1}s, interference x{:.2})",
+                a.name,
+                a.nodes,
+                a.runs,
+                a.interfered,
+                a.interfered / a.standalone
+            );
+        }
+        println!("  sum of finished runs: {}\n", res.total_runs());
+        totals.push((combo, res.total_runs()));
+    }
+    let baseline_total = totals[0].1;
+    println!("## Summary (paper: 1202 / 980 / 1355 / 1017 / 1233)");
+    for (combo, t) in totals {
+        println!(
+            "  {:<26} {:>5} runs  ({:+.1}% vs baseline)",
+            combo.short(),
+            t,
+            (t as f64 / baseline_total as f64 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Runs every reproduction harness in sequence, writing each output to
+//! `results/<name>.txt` — the one-command regeneration of all the paper's
+//! tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p hxbench --bin run_all
+//! T2HX_QUICK=1 cargo run --release -p hxbench --bin run_all   # smoke run
+//! ```
+
+use std::fs;
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "fig01_mpigraph",
+    "fig02_topologies",
+    "tab01_quadrants",
+    "tab02_benchmarks",
+    "fig04_imb_collectives",
+    "fig05a_deepbench",
+    "fig05b_barrier",
+    "fig05c_ebb",
+    "fig06_proxy_apps",
+    "fig06_x500",
+    "fig07_capacity",
+    "ablation_parx",
+    "parx_pipeline",
+    "dark_fiber",
+    "cost_study",
+    "fault_resilience",
+];
+
+fn main() {
+    fs::create_dir_all("results").expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("bin directory");
+    let mut failures = 0usize;
+    for name in HARNESSES {
+        let t0 = std::time::Instant::now();
+        print!("{name:<24} ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let out = Command::new(exe_dir.join(name))
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        let path = format!("results/{name}.txt");
+        fs::write(&path, &out.stdout).expect("write result");
+        if out.status.success() {
+            println!("ok ({:.1?}) -> {path}", t0.elapsed());
+        } else {
+            failures += 1;
+            println!("FAILED ({:?})", out.status);
+            eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} harness(es) failed");
+        std::process::exit(1);
+    }
+    println!("\nall harness outputs written to results/");
+}

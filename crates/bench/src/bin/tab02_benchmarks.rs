@@ -1,0 +1,37 @@
+//! Table 2 — the benchmark roster: MPI function mix, scaling behaviour and
+//! collected metric per workload.
+
+use hxload::registry::{registry, BenchClass};
+use hxload::workload::Scaling;
+
+fn main() {
+    println!("# Table 2: applications/benchmarks, MPI functions, scaling, metrics\n");
+    for class in [BenchClass::PureMpi, BenchClass::App, BenchClass::X500] {
+        let header = match class {
+            BenchClass::PureMpi => "Pure MPI/network benchmarks (Sec. 4.1)",
+            BenchClass::App => "Scientific proxy applications (Sec. 4.2)",
+            BenchClass::X500 => "x500 benchmarks (Sec. 4.3)",
+        };
+        println!("## {header}");
+        println!(
+            "{:<6} {:<9} {:<22} MPI functions",
+            "name", "scaling", "metric"
+        );
+        for b in registry().iter().filter(|b| b.class == class) {
+            let scaling = match b.scaling {
+                Scaling::Weak => "weak",
+                Scaling::Strong => "strong",
+                Scaling::WeakReduced => "weak*",
+            };
+            println!(
+                "{:<6} {:<9} {:<22} {}",
+                b.name,
+                scaling,
+                b.metric,
+                b.mpi_functions.join(" ")
+            );
+        }
+        println!();
+    }
+    println!("*: input reduced at larger scales to stay within the 15-minute walltime");
+}

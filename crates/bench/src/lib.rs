@@ -1,0 +1,92 @@
+//! # hxbench — reproduction harnesses and Criterion benchmarks
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig01_mpigraph` | Figure 1 — 28-node mpiGraph bandwidth heatmaps |
+//! | `fig02_topologies` | Figure 2 — topology structure validation |
+//! | `tab01_quadrants` | Table 1 + Figure 3 — PARX LID selection audit |
+//! | `tab02_benchmarks` | Table 2 — benchmark roster |
+//! | `fig04_imb_collectives` | Figure 4 — IMB relative-gain grids |
+//! | `fig05a_deepbench` | Figure 5a — Baidu ring-allreduce grid |
+//! | `fig05b_barrier` | Figure 5b — Barrier whiskers |
+//! | `fig05c_ebb` | Figure 5c — effective bisection bandwidth |
+//! | `fig06_proxy_apps` | Figure 6a–i — proxy-app whiskers |
+//! | `fig06_x500` | Figure 6j–l — HPL/HPCG/Graph500 |
+//! | `fig07_capacity` | Figure 7 — capacity throughput |
+//! | `ablation_parx` | DESIGN.md §3 ablations (threshold, demand, +1/+w) |
+//!
+//! Environment knobs: `T2HX_QUICK=1` shrinks sweeps for smoke runs;
+//! `T2HX_SAMPLES=n` overrides the eBB sample count.
+
+use hxcore::T2hx;
+
+/// Whether quick (CI-sized) mode is requested.
+pub fn quick() -> bool {
+    std::env::var("T2HX_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// eBB sample count (paper: 1000).
+pub fn ebb_samples() -> usize {
+    std::env::var("T2HX_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick() { 50 } else { 1000 })
+}
+
+/// Builds the full 672-node dual-plane system with the paper's faults.
+pub fn build_full() -> T2hx {
+    let t0 = std::time::Instant::now();
+    let sys = T2hx::build(672, true).expect("system routes");
+    eprintln!(
+        "# built dual-plane system in {:.1?}: FT {} switches / HX {} switches; \
+         DFSSSP {} VLs, PARX {} VLs",
+        t0.elapsed(),
+        sys.fattree.num_switches(),
+        sys.hyperx.num_switches(),
+        sys.hx_dfsssp.num_vls,
+        sys.hx_parx.num_vls,
+    );
+    sys
+}
+
+/// The capability node series for seven-based benchmarks, shrunk in quick
+/// mode.
+pub fn series7() -> Vec<usize> {
+    if quick() {
+        vec![7, 28, 112]
+    } else {
+        vec![7, 14, 28, 56, 112, 224, 448, 672]
+    }
+}
+
+/// The power-of-two capability series.
+pub fn series_pow2() -> Vec<usize> {
+    if quick() {
+        vec![4, 16, 64]
+    } else {
+        vec![4, 8, 16, 32, 64, 128, 256, 512]
+    }
+}
+
+/// IMB message sizes, thinned in quick mode.
+pub fn thin_sizes(sizes: Vec<u64>) -> Vec<u64> {
+    if quick() {
+        sizes.into_iter().step_by(4).collect()
+    } else {
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn series_shapes() {
+        // Full-mode series match the paper's figures.
+        std::env::remove_var("T2HX_QUICK");
+        assert_eq!(super::series7().last(), Some(&672));
+        assert_eq!(super::series_pow2().last(), Some(&512));
+    }
+}

@@ -1,0 +1,17 @@
+//! # hxcap — multi-application capacity (system throughput) simulation
+//!
+//! Reproduces the paper's Section 4.4.2/5.3 experiment: 14 applications run
+//! concurrently for three hours, each on a dedicated 32- or 56-node set
+//! (664 of the 672 nodes, 98.8% occupancy), and the number of completed
+//! runs per application is compared across the five combos (Figure 7).
+//!
+//! Interference model: every application contributes its average per-cable
+//! byte rate (from its skeleton's traffic accounting over its node set);
+//! where the summed rates oversubscribe a cable, the communication phases
+//! of every application crossing it dilate by the oversubscription factor.
+//! This captures the paper's inter-job bandwidth competition (Section 4.4.2
+//! cites Jain et al. on inter-job interference) while staying deterministic.
+
+pub mod capacity;
+
+pub use capacity::{paper_mix, run_capacity, AppResult, AppSlot, CapacityConfig, CapacityResult};

@@ -1,0 +1,130 @@
+//! Text renderers matching the paper's figure formats: relative-gain grids
+//! (Figure 4), whisker rows (Figures 5b–6), and bandwidth heatmaps
+//! (Figure 1).
+
+use hxsim::Whisker;
+
+/// Formats a gain value the way the paper annotates its cells.
+pub fn fmt_gain(g: Option<f64>) -> String {
+    match g {
+        None => "   .  ".into(),
+        Some(v) if v.is_infinite() && v > 0.0 => "  +Inf".into(),
+        Some(v) if v.is_infinite() => "  -Inf".into(),
+        Some(v) if v.abs() >= 10.0 => format!("{v:+6.1}"),
+        Some(v) => format!("{v:+6.2}"),
+    }
+}
+
+/// Renders a Figure-4 style grid: rows = message sizes, columns = node
+/// counts, cells = relative gain vs the baseline.
+pub fn gain_grid(
+    title: &str,
+    row_label: &str,
+    rows: &[u64],
+    cols: &[usize],
+    cells: &[Vec<Option<f64>>],
+) -> String {
+    assert_eq!(cells.len(), rows.len());
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{row_label:>10} |"));
+    for c in cols {
+        out.push_str(&format!("{c:>7}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:-<10}-+{:-<width$}\n", "", "", width = 7 * cols.len()));
+    for (r, row) in rows.iter().zip(cells) {
+        assert_eq!(row.len(), cols.len());
+        out.push_str(&format!("{r:>10} |"));
+        for cell in row {
+            out.push_str(&format!(" {}", fmt_gain(*cell)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one whisker as the paper's five-number summary.
+pub fn fmt_whisker(w: Option<Whisker>, unit: &str) -> String {
+    match w {
+        None => format!("        (exceeded walltime)          {unit}"),
+        Some(w) => format!(
+            "min {:>10.4} | q1 {:>10.4} | med {:>10.4} | q3 {:>10.4} | max {:>10.4} {unit}",
+            w.min, w.q1, w.median, w.q3, w.max
+        ),
+    }
+}
+
+/// Renders a bandwidth matrix as a coarse ASCII heatmap (Figure 1); `max`
+/// is the color-scale ceiling in GiB/s.
+pub fn heatmap(matrix: &[Vec<f64>], max: f64) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for row in matrix {
+        for &v in row {
+            let t = (v / max).clamp(0.0, 1.0);
+            let idx = ((t * (SHADES.len() - 1) as f64).round()) as usize;
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_formatting() {
+        assert_eq!(fmt_gain(Some(0.02)), " +0.02");
+        assert_eq!(fmt_gain(Some(-0.65)), " -0.65");
+        assert_eq!(fmt_gain(Some(61.29)), " +61.3");
+        assert_eq!(fmt_gain(Some(f64::INFINITY)), "  +Inf");
+        assert_eq!(fmt_gain(Some(f64::NEG_INFINITY)), "  -Inf");
+        assert_eq!(fmt_gain(None), "   .  ");
+    }
+
+    #[test]
+    fn grid_renders_all_cells() {
+        let s = gain_grid(
+            "Bcast / HyperX",
+            "msgsize",
+            &[1, 2],
+            &[7, 14],
+            &[vec![Some(0.1), Some(-0.2)], vec![None, Some(0.0)]],
+        );
+        assert!(s.contains("## Bcast / HyperX"));
+        assert!(s.contains("+0.10"));
+        assert!(s.contains("-0.20"));
+        // title + header + separator + 2 data rows
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn heatmap_shades_scale() {
+        let m = vec![vec![0.0, 3.0], vec![1.5, 3.0]];
+        let h = heatmap(&m, 3.0);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().next(), Some(' '));
+        assert_eq!(lines[0].chars().nth(1), Some('@'));
+    }
+
+    #[test]
+    fn heatmap_empty_matrix() {
+        assert_eq!(heatmap(&[], 3.0), "");
+        // Values above the ceiling clamp to the darkest shade.
+        let h = heatmap(&[vec![99.0]], 3.0);
+        assert_eq!(h, "@\n");
+    }
+
+    #[test]
+    fn whisker_formatting() {
+        let w = Whisker::of(&[1.0, 2.0, 3.0]);
+        let s = fmt_whisker(Some(w), "s");
+        assert!(s.contains("min"));
+        assert!(s.contains("med"));
+        assert!(fmt_whisker(None, "s").contains("walltime"));
+    }
+}

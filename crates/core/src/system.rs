@@ -1,0 +1,190 @@
+//! The dual-plane T2HX system: every compute node has one HCA on the
+//! Fat-Tree plane and one on the 12x8 HyperX plane (both attached to CPU0
+//! in the real machine), allowing the paper's 1-to-1 comparison.
+
+use crate::combos::{Combo, Scheme};
+use hxmpi::{Fabric, Placement};
+use hxroute::engines::{Dfsssp, Ftree, Parx, RoutingEngine, Sssp};
+use hxroute::{Demand, RouteError, Routes};
+use hxsim::NetParams;
+use hxtopo::fattree::{FatTreeConfig, Stage};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{FaultPlan, NodeId, Topology};
+
+/// The dual-plane system with all four routing states precomputed.
+pub struct T2hx {
+    /// Fat-Tree plane.
+    pub fattree: Topology,
+    /// HyperX plane.
+    pub hyperx: Topology,
+    /// OpenSM ftree on the Fat-Tree.
+    pub ft_ftree: Routes,
+    /// OpenSM SSSP on the Fat-Tree.
+    pub ft_sssp: Routes,
+    /// DFSSSP on the HyperX.
+    pub hx_dfsssp: Routes,
+    /// PARX on the HyperX (re-computable with a communication profile).
+    pub hx_parx: Routes,
+    /// Timing parameters.
+    pub params: NetParams,
+}
+
+impl T2hx {
+    /// Builds the full-scale system: 672 nodes, optionally with the paper's
+    /// cable faults (15 HyperX AOCs, the Fat-Tree fault fraction).
+    pub fn build(total_nodes: usize, with_faults: bool) -> Result<T2hx, RouteError> {
+        let mut fattree = FatTreeConfig::tsubame2(total_nodes);
+        let mut hyperx = HyperXConfig::t2_hyperx(total_nodes).build();
+        if with_faults {
+            FaultPlan::t2_fattree().apply(&mut fattree);
+            FaultPlan::t2_hyperx().apply(&mut hyperx);
+        }
+        Self::assemble(fattree, hyperx)
+    }
+
+    /// A 32-node miniature dual-plane system for tests: an 8-leaf staged
+    /// Clos and a 4x4 HyperX with 2 nodes per switch.
+    pub fn mini() -> Result<T2hx, RouteError> {
+        let fattree = FatTreeConfig {
+            name: "fat-tree-mini".into(),
+            nodes_per_leaf: 4,
+            total_nodes: 32,
+            stages: vec![
+                Stage { count: 8, uplinks: 6 },
+                Stage { count: 6, uplinks: 4 },
+                Stage { count: 4, uplinks: 0 },
+            ],
+        }
+        .staged();
+        let hyperx = HyperXConfig::new(vec![4, 4], 2).build();
+        Self::assemble(fattree, hyperx)
+    }
+
+    fn assemble(fattree: Topology, hyperx: Topology) -> Result<T2hx, RouteError> {
+        assert_eq!(
+            fattree.num_nodes(),
+            hyperx.num_nodes(),
+            "dual-plane system needs matching node counts"
+        );
+        let ft_ftree = Ftree.route(&fattree)?;
+        let ft_sssp = Sssp::default().route(&fattree)?;
+        let hx_dfsssp = Dfsssp::default().route(&hyperx)?;
+        let hx_parx = Parx::default().route(&hyperx)?;
+        Ok(T2hx {
+            fattree,
+            hyperx,
+            ft_ftree,
+            ft_sssp,
+            hx_dfsssp,
+            hx_parx,
+            params: NetParams::qdr(),
+        })
+    }
+
+    /// Number of compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.fattree.num_nodes()
+    }
+
+    /// The network plane a combo runs on.
+    pub fn topo(&self, combo: Combo) -> &Topology {
+        if combo.is_hyperx() {
+            &self.hyperx
+        } else {
+            &self.fattree
+        }
+    }
+
+    /// The forwarding state of a combo.
+    pub fn routes(&self, combo: Combo) -> &Routes {
+        match combo {
+            Combo::FtFtreeLinear => &self.ft_ftree,
+            Combo::FtSsspClustered => &self.ft_sssp,
+            Combo::HxDfssspLinear | Combo::HxDfssspRandom => &self.hx_dfsssp,
+            Combo::HxParxClustered => &self.hx_parx,
+        }
+    }
+
+    /// Re-routes the HyperX with PARX ingesting a communication profile
+    /// (the SAR-style interface between job submission and OpenSM,
+    /// Section 4.4.3).
+    pub fn reroute_parx(&mut self, demand: Demand) -> Result<(), RouteError> {
+        self.hx_parx = Parx::with_demand(demand).route(&self.hyperx)?;
+        Ok(())
+    }
+
+    /// Builds the placement a combo uses for an `n`-rank job.
+    pub fn placement(&self, combo: Combo, n: usize, seed: u64) -> Placement {
+        let pool: Vec<NodeId> = self.topo(combo).nodes().collect();
+        match combo.scheme() {
+            Scheme::Linear => Placement::linear(&pool, n),
+            Scheme::Clustered => Placement::clustered(&pool, n, seed),
+            Scheme::Random => Placement::random(&pool, n, seed),
+        }
+    }
+
+    /// Assembles the full fabric (topology + routes + placement + PML) for
+    /// a combo and job size.
+    pub fn fabric(&self, combo: Combo, n: usize, seed: u64) -> Fabric<'_> {
+        Fabric::new(
+            self.topo(combo),
+            self.routes(combo),
+            self.placement(combo, n, seed),
+            combo.pml(),
+            self.params,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxroute::{verify_deadlock_free, verify_paths};
+
+    #[test]
+    fn mini_system_assembles_and_verifies() {
+        let sys = T2hx::mini().unwrap();
+        assert_eq!(sys.num_nodes(), 32);
+        verify_paths(&sys.fattree, &sys.ft_ftree).unwrap();
+        verify_paths(&sys.fattree, &sys.ft_sssp).unwrap();
+        verify_paths(&sys.hyperx, &sys.hx_dfsssp).unwrap();
+        verify_paths(&sys.hyperx, &sys.hx_parx).unwrap();
+        verify_deadlock_free(&sys.hyperx, &sys.hx_dfsssp).unwrap();
+        verify_deadlock_free(&sys.hyperx, &sys.hx_parx).unwrap();
+    }
+
+    #[test]
+    fn fabrics_for_all_combos() {
+        use hxsim::PathResolver;
+        let sys = T2hx::mini().unwrap();
+        for combo in Combo::all() {
+            let f = sys.fabric(combo, 16, 1);
+            assert_eq!(f.placement.num_ranks(), 16);
+            let rp = f.resolve(0, 15, 4096, 0);
+            // Ranks 0 and 15 never share a node under any scheme here.
+            assert!(!rp.hops.is_empty(), "{}", combo.label());
+        }
+    }
+
+    #[test]
+    fn parx_reroute_with_demand() {
+        let mut sys = T2hx::mini().unwrap();
+        let mut d = Demand::new(32);
+        for i in 0..8u32 {
+            d.add(NodeId(i), NodeId(31 - i), 1 << 24);
+        }
+        sys.reroute_parx(d).unwrap();
+        verify_paths(&sys.hyperx, &sys.hx_parx).unwrap();
+        verify_deadlock_free(&sys.hyperx, &sys.hx_parx).unwrap();
+    }
+
+    #[test]
+    fn placements_differ_between_schemes() {
+        let sys = T2hx::mini().unwrap();
+        let lin = sys.placement(Combo::HxDfssspLinear, 16, 7);
+        let rnd = sys.placement(Combo::HxDfssspRandom, 16, 7);
+        let clu = sys.placement(Combo::HxParxClustered, 16, 7);
+        assert_ne!(lin.nodes(), rnd.nodes());
+        assert_ne!(lin.nodes(), clu.nodes());
+    }
+}

@@ -1,0 +1,81 @@
+//! Baidu DeepBench Allreduce (AllR) — Figure 5a.
+//!
+//! DeepBench's CPU allreduce is ring-based and sweeps array lengths from 0
+//! to 512 Mi 4-byte floats, reporting the average latency per operation.
+
+use hxmpi::rounds::RoundProgram;
+use hxmpi::{estimate, Fabric};
+
+/// The array lengths (in 4-byte floats) of the paper's Figure 5a rows.
+pub fn deepbench_lengths() -> Vec<u64> {
+    vec![
+        0,
+        32,
+        256,
+        1024,
+        4096,
+        16384,
+        65536,
+        262144,
+        1048576,
+        8388608,
+        67108864,
+        536870912,
+    ]
+}
+
+/// Average latency (seconds) of one ring allreduce of `floats` 4-byte
+/// elements at `n` ranks.
+pub fn allreduce_latency(fabric: &Fabric<'_>, n: usize, floats: u64) -> f64 {
+    let mut rp = RoundProgram::new(n);
+    if floats == 0 {
+        // DeepBench still performs the handshake rounds.
+        rp.barrier();
+    } else {
+        rp.allreduce_ring(floats * 4);
+    }
+    estimate(fabric, &rp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxmpi::{Placement, Pml};
+    use hxroute::engines::{Dfsssp, RoutingEngine};
+    use hxsim::NetParams;
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::NodeId;
+
+    #[test]
+    fn lengths_match_figure5a() {
+        let l = deepbench_lengths();
+        assert_eq!(l.len(), 12);
+        assert_eq!(l[0], 0);
+        assert_eq!(*l.last().unwrap(), 536870912);
+    }
+
+    #[test]
+    fn latency_monotone_in_length() {
+        let t = HyperXConfig::new(vec![4, 4], 1).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 16),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let mut prev = 0.0;
+        for len in deepbench_lengths() {
+            let lat = allreduce_latency(&f, 16, len);
+            assert!(lat > 0.0);
+            if len >= 1024 {
+                assert!(lat >= prev, "len {len}: {lat} < {prev}");
+            }
+            prev = lat;
+        }
+        // 512 Mi floats = 2 GiB: a ring moves ~2x that per node => seconds.
+        assert!(prev > 1.0, "{prev}");
+    }
+}

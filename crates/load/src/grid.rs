@@ -1,0 +1,181 @@
+//! Process-grid factorization (à la `MPI_Dims_create`) and halo-exchange
+//! message generation for the stencil proxy applications.
+
+use hxmpi::rounds::Msg;
+
+/// Factorizes `n` into `d` dimensions as squarely as possible, largest
+/// dimension first (matches `MPI_Dims_create` behaviour).
+pub fn dims_create(n: usize, d: usize) -> Vec<usize> {
+    assert!(n > 0 && d > 0);
+    let mut dims = vec![1usize; d];
+    let mut rest = n;
+    // Assign prime factors (largest first) to the currently smallest dim.
+    let mut factors = Vec::new();
+    let mut x = rest;
+    let mut p = 2usize;
+    while p * p <= x {
+        while x.is_multiple_of(p) {
+            factors.push(p);
+            x /= p;
+        }
+        p += 1;
+    }
+    if x > 1 {
+        factors.push(x);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..d).min_by_key(|&i| dims[i]).unwrap();
+        dims[i] *= f;
+        rest /= f;
+    }
+    debug_assert_eq!(dims.iter().product::<usize>(), n);
+    debug_assert_eq!(rest, 1);
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// Coordinate of `rank` in a row-major grid.
+pub fn grid_coord(rank: usize, dims: &[usize]) -> Vec<usize> {
+    let mut rest = rank;
+    let mut c = vec![0usize; dims.len()];
+    for (i, &d) in dims.iter().enumerate().rev() {
+        c[i] = rest % d;
+        rest /= d;
+    }
+    c
+}
+
+/// Rank at a grid coordinate (row-major).
+pub fn grid_rank(coord: &[usize], dims: &[usize]) -> usize {
+    let mut r = 0usize;
+    for (&c, &d) in coord.iter().zip(dims) {
+        debug_assert!(c < d);
+        r = r * d + c;
+    }
+    r
+}
+
+/// One periodic halo exchange: every rank sends `face_bytes[k]` to both of
+/// its neighbours in every dimension `k` with extent > 1 (one message when
+/// the extent is 2).
+pub fn halo_exchange(dims: &[usize], face_bytes: &[u64]) -> Vec<Msg> {
+    assert_eq!(dims.len(), face_bytes.len());
+    let n: usize = dims.iter().product();
+    let mut msgs = Vec::new();
+    for r in 0..n {
+        let c = grid_coord(r, dims);
+        for (k, &dk) in dims.iter().enumerate() {
+            if dk < 2 || face_bytes[k] == 0 {
+                continue;
+            }
+            let mut up = c.clone();
+            up[k] = (c[k] + 1) % dk;
+            msgs.push((r, grid_rank(&up, dims), face_bytes[k]));
+            if dk > 2 {
+                let mut down = c.clone();
+                down[k] = (c[k] + dk - 1) % dk;
+                msgs.push((r, grid_rank(&down, dims), face_bytes[k]));
+            }
+        }
+    }
+    msgs
+}
+
+/// The members of the grid "line" through `rank` along dimension `k` —
+/// the row/column sub-communicators of transpose-based codes (SWFFT,
+/// qb@ll).
+pub fn grid_line(rank: usize, dims: &[usize], k: usize) -> Vec<usize> {
+    let c = grid_coord(rank, dims);
+    (0..dims[k])
+        .map(|v| {
+            let mut cc = c.clone();
+            cc[k] = v;
+            grid_rank(&cc, dims)
+        })
+        .collect()
+}
+
+/// All distinct lines along dimension `k` (each returned once).
+pub fn grid_lines(dims: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let n: usize = dims.iter().product();
+    let mut seen = vec![false; n];
+    let mut lines = Vec::new();
+    for r in 0..n {
+        if seen[r] {
+            continue;
+        }
+        let line = grid_line(r, dims, k);
+        for &m in &line {
+            seen[m] = true;
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_is_balanced() {
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(7, 3), vec![7, 1, 1]);
+        assert_eq!(dims_create(672, 3), vec![12, 8, 7]);
+        assert_eq!(dims_create(1, 2), vec![1, 1]);
+        let d = dims_create(512, 4);
+        assert_eq!(d.iter().product::<usize>(), 512);
+        assert!(d.iter().max().unwrap() - d.iter().min().unwrap() <= 4);
+    }
+
+    #[test]
+    fn coord_rank_roundtrip() {
+        let dims = [4usize, 3, 2];
+        for r in 0..24 {
+            assert_eq!(grid_rank(&grid_coord(r, &dims), &dims), r);
+        }
+    }
+
+    #[test]
+    fn halo_counts() {
+        // 4x4 grid: every rank sends 2 msgs per dim = 4 msgs; 16 ranks.
+        let msgs = halo_exchange(&[4, 4], &[100, 100]);
+        assert_eq!(msgs.len(), 16 * 4);
+        // Extent-2 dims produce one message per rank for that dim.
+        let msgs = halo_exchange(&[2, 4], &[100, 100]);
+        assert_eq!(msgs.len(), 8 * (1 + 2));
+        // Degenerate dims are skipped.
+        let msgs = halo_exchange(&[1, 4], &[100, 100]);
+        assert_eq!(msgs.len(), 4 * 2);
+    }
+
+    #[test]
+    fn halo_is_symmetric_in_volume() {
+        let msgs = halo_exchange(&[3, 3, 3], &[10, 20, 30]);
+        // Every rank sends and receives the same total volume.
+        let n = 27;
+        let mut tx = vec![0u64; n];
+        let mut rx = vec![0u64; n];
+        for (s, d, b) in msgs {
+            tx[s] += b;
+            rx[d] += b;
+        }
+        assert!(tx.iter().all(|&v| v == tx[0]));
+        assert_eq!(tx, rx);
+    }
+
+    #[test]
+    fn lines_partition_grid() {
+        let dims = [4usize, 6];
+        let lines = grid_lines(&dims, 1);
+        assert_eq!(lines.len(), 4);
+        let mut all: Vec<usize> = lines.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..24).collect::<Vec<_>>());
+        let line0 = grid_line(0, &dims, 0);
+        assert_eq!(line0.len(), 4);
+        assert!(line0.contains(&0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # hxload — benchmark and workload models
+//!
+//! Communication-skeleton models of every workload in the paper's
+//! methodology (Section 4, Table 2):
+//!
+//! * [`imb`] — Intel MPI Benchmarks (single-mode MPI-1 collectives), the
+//!   modified EmDL deep-learning Allreduce and Multi-PingPong,
+//! * [`mpigraph`] — the all-pairs bandwidth heatmap of Figure 1,
+//! * [`ebb`] — Netgauge's effective bisection bandwidth (1000 random
+//!   bisections, 1 MiB messages),
+//! * [`deepbench`] — Baidu's ring-allreduce latency sweep,
+//! * [`proxy`] — the nine scientific proxy applications (AMG, CoMD, MiniFE,
+//!   SWFFT, FFVC, mVMC, NTChem, MILC, qb@ll),
+//! * [`x500`] — HPL, HPCG and Graph500,
+//! * [`mod@registry`] — Table 2 (benchmarks, MPI functions, scaling, metrics),
+//! * [`grid`] — process-grid factorization and halo-exchange helpers,
+//! * [`workload`] — the common `Workload` trait and scaling series.
+//!
+//! Each application is modeled as `setup + iterations x (compute +
+//! communication skeleton)`; the skeleton is the paper's Table-2 MPI mix
+//! with weak/strong-scaled payloads, and the compute constants are
+//! calibrated so that communication fractions match published MPI profiles
+//! of the proxy apps (a few percent for stencil codes, tens of percent for
+//! the transpose/alltoall codes — see DESIGN.md).
+
+pub mod deepbench;
+pub mod ebb;
+pub mod grid;
+pub mod imb;
+pub mod mpigraph;
+pub mod profile;
+pub mod proxy;
+pub mod registry;
+pub mod workload;
+pub mod x500;
+
+pub use profile::RankProfile;
+pub use registry::{registry, BenchInfo};
+pub use workload::{MetricKind, Scaling, Workload};

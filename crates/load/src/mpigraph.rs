@@ -1,0 +1,148 @@
+//! mpiGraph — the all-pairs observable-bandwidth heatmap of Figure 1.
+//!
+//! mpiGraph measures, for every (sender, receiver) pair, the bandwidth
+//! achieved while all nodes communicate simultaneously in shifted rounds:
+//! in round `k`, node `i` streams to node `(i + k) mod n`. On the Fat-Tree
+//! this is nearly contention-free; on a minimally-routed HyperX up to
+//! `T = 7` streams share single inter-switch QDR cables, collapsing the
+//! observed bandwidth (the paper's central motivating figure).
+
+use hxmpi::Fabric;
+use hxsim::flow::FlowSpec;
+use hxsim::FluidNet;
+
+/// Per-pair bandwidth matrix: `matrix[receiver][sender]` in GiB/s
+/// (diagonal is 0).
+pub type BandwidthMatrix = Vec<Vec<f64>>;
+
+/// Runs the mpiGraph pattern over `n` ranks with `bytes` per stream.
+pub fn mpigraph(fabric: &Fabric<'_>, n: usize, bytes: u64) -> BandwidthMatrix {
+    let mut matrix = vec![vec![0.0f64; n]; n];
+    for k in 1..n {
+        // Round k: i -> (i + k) % n, all simultaneous.
+        let mut specs = Vec::with_capacity(n);
+        let mut pairs = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = (i + k) % n;
+            let sn = fabric.placement.node(i);
+            let dn = fabric.placement.node(j);
+            let lid = fabric
+                .pml
+                .select_lid_index(fabric.topo, fabric.routes, sn, dn, bytes, k as u64);
+            specs.push(FlowSpec {
+                path: fabric.node_path(sn, dn, lid).to_vec(),
+                bytes,
+            });
+            pairs.push((i, j));
+        }
+        let times = FluidNet::complete_times(fabric.topo, &specs);
+        for ((i, j), t) in pairs.into_iter().zip(times) {
+            matrix[j][i] = if t > 0.0 {
+                bytes as f64 / t / (1u64 << 30) as f64
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    matrix
+}
+
+/// Mean off-diagonal bandwidth — the per-node-pair average the paper quotes
+/// (2.26 / 0.84 / 1.39 GiB/s for the three Figure-1 configurations).
+pub fn average_bandwidth(matrix: &BandwidthMatrix) -> f64 {
+    let n = matrix.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for (j, row) in matrix.iter().enumerate() {
+        for (i, &v) in row.iter().enumerate() {
+            if i != j && v.is_finite() {
+                sum += v;
+                cnt += 1;
+            }
+        }
+    }
+    sum / cnt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxmpi::{Placement, Pml};
+    use hxroute::engines::{Dfsssp, RoutingEngine};
+    use hxsim::NetParams;
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::NodeId;
+
+    #[test]
+    fn dense_hyperx_shows_cable_sharing() {
+        // Two full switches (7 nodes each) joined by one cable: cross-switch
+        // pairs must observe far less than intra-switch pairs.
+        let t = HyperXConfig::new(vec![2], 7).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 14),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let m = mpigraph(&f, 14, 1 << 20);
+        // Intra-switch pair (0 -> 1) vs cross-switch pair (0 -> 7).
+        let intra = m[1][0];
+        let cross = m[7][0];
+        assert!(
+            cross < intra / 3.0,
+            "cross {cross} should collapse vs intra {intra}"
+        );
+        let avg = average_bandwidth(&m);
+        assert!(avg > 0.0 && avg < 3.5);
+    }
+
+    #[test]
+    fn two_rank_graph() {
+        let t = HyperXConfig::new(vec![2], 1).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 2),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let m = mpigraph(&f, 2, 1 << 20);
+        // One round, both directions measured, near line rate.
+        assert!(m[1][0] > 3.0 && m[0][1] > 3.0);
+        let avg = average_bandwidth(&m);
+        assert!(avg > 3.0);
+    }
+
+    #[test]
+    fn matrix_shape_and_diagonal() {
+        let t = HyperXConfig::new(vec![2, 2], 2).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 8),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let m = mpigraph(&f, 8, 1 << 18);
+        assert_eq!(m.len(), 8);
+        for (j, row) in m.iter().enumerate() {
+            assert_eq!(row.len(), 8);
+            assert_eq!(row[j], 0.0);
+            for (i, &v) in row.iter().enumerate() {
+                if i != j {
+                    assert!(v > 0.0 && v < 3.5, "[{j}][{i}] = {v}");
+                }
+            }
+        }
+    }
+}

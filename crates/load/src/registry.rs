@@ -1,0 +1,196 @@
+//! Table 2 of the paper: the benchmark roster with MPI function mixes,
+//! scaling behaviour and collected metrics — reproduced verbatim so the
+//! `tab02` harness can print it and tests can cross-check the workload
+//! implementations against it.
+
+use crate::workload::Scaling;
+
+/// Benchmark category (the paper's three groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchClass {
+    /// Pure MPI/network benchmarks (Section 4.1).
+    PureMpi,
+    /// Scientific proxy applications (Section 4.2).
+    App,
+    /// x500 ranking benchmarks (Section 4.3).
+    X500,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct BenchInfo {
+    /// Short name as used in the figures.
+    pub name: &'static str,
+    /// Group.
+    pub class: BenchClass,
+    /// MPI point-to-point and collective functions used.
+    pub mpi_functions: &'static [&'static str],
+    /// Scaling behaviour (Table 2's weak / weak* / strong).
+    pub scaling: Scaling,
+    /// Collected metric description.
+    pub metric: &'static str,
+}
+
+/// The complete Table 2.
+pub fn registry() -> Vec<BenchInfo> {
+    use BenchClass::*;
+    use Scaling::*;
+    vec![
+        BenchInfo {
+            name: "IMB",
+            class: PureMpi,
+            mpi_functions: &["Allreduce", "Reduce", "Alltoall", "Barrier", "Bcast", "Gather", "Scatter"],
+            scaling: Weak,
+            metric: "Latency t_min [us]",
+        },
+        BenchInfo {
+            name: "eBB",
+            class: PureMpi,
+            mpi_functions: &["Isend", "Irecv", "Barrier", "Gather", "Scatter"],
+            scaling: Strong,
+            metric: "Throughput [MiB/s]",
+        },
+        BenchInfo {
+            name: "AllR",
+            class: PureMpi,
+            mpi_functions: &["Send", "Irecv", "Sendrecv", "Allgather"],
+            scaling: Weak,
+            metric: "Latency t_avg [s]",
+        },
+        BenchInfo {
+            name: "AMG",
+            class: App,
+            mpi_functions: &["Send", "Isend", "Recv", "Irecv", "Allgather", "Allgatherv", "Allreduce", "Bcast"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "CoMD",
+            class: App,
+            mpi_functions: &["Sendrecv", "Allreduce", "Barrier", "Bcast"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "MiFE",
+            class: App,
+            mpi_functions: &["Send", "Irecv", "Allgather", "Allreduce", "Bcast"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "FFT",
+            class: App,
+            mpi_functions: &["Send", "Isend", "Recv", "Irecv", "Allreduce", "Barrier"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "FFVC",
+            class: App,
+            mpi_functions: &["Isend", "Irecv", "Reduce", "Allreduce", "Gather"],
+            scaling: WeakReduced,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "mVMC",
+            class: App,
+            mpi_functions: &["Send", "Isend", "Sendrecv", "Recv", "Reduce", "Allreduce", "Bcast", "Scatter"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "NTCh",
+            class: App,
+            mpi_functions: &["Isend", "Irecv", "Allreduce", "Barrier", "Bcast"],
+            scaling: Strong,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "MILC",
+            class: App,
+            mpi_functions: &["Isend", "Irecv", "Allreduce", "Barrier", "Bcast"],
+            scaling: Weak,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "Qbox",
+            class: App,
+            mpi_functions: &["Send", "Isend", "Rsend", "Recv", "Irecv", "Reduce", "Allreduce", "Alltoallv", "Bcast"],
+            scaling: WeakReduced,
+            metric: "Kernel runtime [s]",
+        },
+        BenchInfo {
+            name: "HPL",
+            class: X500,
+            mpi_functions: &["Send", "Recv", "Irecv"],
+            scaling: WeakReduced,
+            metric: "Floating-point Op/s",
+        },
+        BenchInfo {
+            name: "HPCG",
+            class: X500,
+            mpi_functions: &["Send", "Irecv", "Allreduce", "Alltoall", "Alltoallv", "Barrier", "Bcast"],
+            scaling: Weak,
+            metric: "Floating-point Op/s",
+        },
+        BenchInfo {
+            name: "GraD",
+            class: X500,
+            mpi_functions: &["Isend", "Irecv", "Allgather", "Allreduce", "Reduce", "Reduce_scatter"],
+            scaling: Weak,
+            metric: "Traversed edges/s",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_rows() {
+        // 3 pure-MPI + 9 apps + 3 x500.
+        let r = registry();
+        assert_eq!(r.len(), 15);
+        assert_eq!(r.iter().filter(|b| b.class == BenchClass::PureMpi).count(), 3);
+        assert_eq!(r.iter().filter(|b| b.class == BenchClass::App).count(), 9);
+        assert_eq!(r.iter().filter(|b| b.class == BenchClass::X500).count(), 3);
+    }
+
+    #[test]
+    fn names_unique() {
+        let r = registry();
+        let mut names: Vec<_> = r.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn scaling_matches_workload_impls() {
+        use crate::proxy::all_proxies;
+        let reg = registry();
+        for w in all_proxies() {
+            let row = reg.iter().find(|b| b.name == w.name()).unwrap();
+            assert_eq!(row.scaling, w.scaling(), "{}", w.name());
+        }
+        for w in crate::x500::all_x500() {
+            let row = reg.iter().find(|b| b.name == w.name()).unwrap();
+            assert_eq!(row.scaling, w.scaling(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn table2_weak_star_rows() {
+        // The paper marks FFVC, Qbox and HPL as weak* (input reduced at
+        // scale).
+        let reg = registry();
+        let stars: Vec<_> = reg
+            .iter()
+            .filter(|b| b.scaling == Scaling::WeakReduced)
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(stars, vec!["FFVC", "Qbox", "HPL"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The common workload interface: every benchmark of Table 2 exposes a
+//! scaling behaviour, the node-count series it is evaluated at, and a
+//! noiseless kernel time over a routed fabric. The experiment runner in
+//! `hxcore` adds repetitions, noise and the 15-minute walltime cutoff.
+
+use hxmpi::rounds::RoundProgram;
+use hxmpi::{estimate, Fabric};
+
+/// The iteration decomposition of a workload: one run is
+/// `setup + iters x (the iteration program)`. Exposing the skeleton (rather
+/// than only a total time) lets the capacity scheduler account per-cable
+/// traffic for its interference model.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// One-off time outside the iterated kernel (graph construction,
+    /// assembly, ...).
+    pub setup: f64,
+    /// Iteration count.
+    pub iters: f64,
+    /// Communication + compute of one iteration.
+    pub iter: RoundProgram,
+}
+
+/// How the paper scales the input with node count (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scaling {
+    /// Constant work per process.
+    Weak,
+    /// Constant total work.
+    Strong,
+    /// Weak, but with the input reduced at larger scales to fit the
+    /// 15-minute walltime (FFVC, qb@ll, HPL — Table 2's `weak*`).
+    WeakReduced,
+}
+
+/// What a benchmark reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Solver/kernel runtime in seconds (lower is better).
+    KernelSeconds,
+    /// Floating-point rate in Gflop/s (higher is better).
+    Gflops,
+    /// Traversed edges per second in GTEPS (higher is better).
+    Gteps,
+    /// Latency in microseconds (lower is better).
+    LatencyUs,
+    /// Throughput in MiB/s (higher is better).
+    Throughput,
+}
+
+impl MetricKind {
+    /// Direction of improvement.
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, MetricKind::Gflops | MetricKind::Gteps | MetricKind::Throughput)
+    }
+}
+
+/// The paper's capability-run node series starting from one 7-node HyperX
+/// switch: 7, 14, ..., 448, then the full 672.
+pub fn series_seven(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = 7usize;
+    while n <= max && n <= 448 {
+        v.push(n);
+        n *= 2;
+    }
+    if max >= 672 {
+        v.push(672);
+    }
+    v
+}
+
+/// The power-of-two series 4, 8, ..., 512 for benchmarks requiring 2^k
+/// ranks.
+pub fn series_pow2(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = 4usize;
+    while n <= max && n <= 512 {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+/// A benchmark or proxy application.
+pub trait Workload: Sync {
+    /// Short name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Input scaling behaviour.
+    fn scaling(&self) -> Scaling;
+
+    /// Node counts this workload is evaluated at, capped by the system size.
+    fn node_counts(&self, max_nodes: usize) -> Vec<usize> {
+        series_seven(max_nodes)
+    }
+
+    /// Iteration decomposition of one run at `n` ranks (fabric-independent:
+    /// the skeleton depends only on the rank count; the fabric prices it).
+    fn skeleton(&self, n: usize) -> Skeleton;
+
+    /// Noiseless kernel/solver time of one run at `n` ranks over the fabric.
+    fn kernel_seconds(&self, fabric: &Fabric<'_>, n: usize) -> f64 {
+        assert!(
+            fabric.placement.num_ranks() >= n,
+            "fabric has {} ranks, workload needs {n}",
+            fabric.placement.num_ranks()
+        );
+        let sk = self.skeleton(n);
+        sk.setup + sk.iters * estimate(fabric, &sk.iter)
+    }
+
+    /// Converts a kernel time into the reported metric value.
+    fn metric_value(&self, _n: usize, seconds: f64) -> f64 {
+        seconds
+    }
+
+    /// The reported metric.
+    fn metric(&self) -> MetricKind {
+        MetricKind::KernelSeconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_seven_caps() {
+        assert_eq!(series_seven(672), vec![7, 14, 28, 56, 112, 224, 448, 672]);
+        assert_eq!(series_seven(100), vec![7, 14, 28, 56]);
+        assert_eq!(series_seven(448), vec![7, 14, 28, 56, 112, 224, 448]);
+    }
+
+    #[test]
+    fn series_pow2_caps() {
+        assert_eq!(series_pow2(672), vec![4, 8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(series_pow2(32), vec![4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn series_edge_cases() {
+        assert!(series_seven(6).is_empty());
+        assert_eq!(series_seven(7), vec![7]);
+        assert!(series_pow2(3).is_empty());
+        // 672 is above 448 but below doubling: the paper jumps 448 -> 672.
+        assert_eq!(series_seven(671).last(), Some(&448));
+    }
+
+    #[test]
+    fn metric_direction() {
+        assert!(!MetricKind::KernelSeconds.higher_is_better());
+        assert!(MetricKind::Gflops.higher_is_better());
+        assert!(MetricKind::Gteps.higher_is_better());
+        assert!(!MetricKind::LatencyUs.higher_is_better());
+        assert!(MetricKind::Throughput.higher_is_better());
+    }
+}

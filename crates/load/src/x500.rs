@@ -1,0 +1,332 @@
+//! The x500 ranking benchmarks of Section 4.3: HPL, HPCG and Graph500.
+
+use crate::grid::{dims_create, grid_lines, halo_exchange};
+use crate::workload::{MetricKind, Scaling, Skeleton, Workload};
+use hxmpi::rounds::RoundProgram;
+
+/// Effective double-precision rate of one node for DGEMM-dominated code
+/// (dual hexa-core Westmere at ~2.93 GHz, ~85% efficiency).
+pub const NODE_DGEMM_FLOPS: f64 = 2.0e10;
+
+// ---------------------------------------------------------------- HPL
+
+/// High-Performance Linpack: panel broadcasts along process-grid rows, U
+/// swaps along columns, trailing-matrix DGEMM.
+///
+/// Matrix sizing follows the paper: ~1 GiB of A per process, shrunk to
+/// 0.25 GiB from 224 nodes on (Section 5.2) to stay inside the walltime.
+#[derive(Debug, Clone)]
+pub struct Hpl {
+    /// Panel supersteps simulated (each stands for `N/NB/steps` panels).
+    pub steps: u32,
+}
+
+impl Default for Hpl {
+    fn default() -> Self {
+        Hpl { steps: 48 }
+    }
+}
+
+impl Hpl {
+    /// Matrix dimension at `n` ranks under the paper's memory rule.
+    pub fn matrix_n(&self, n: usize) -> u64 {
+        let mem_per_proc: f64 = if n >= 224 {
+            0.25 * 1024.0 * 1024.0 * 1024.0
+        } else {
+            1024.0 * 1024.0 * 1024.0
+        };
+        (n as f64 * mem_per_proc / 8.0).sqrt() as u64
+    }
+
+    /// Total flops of the factorization.
+    pub fn total_flops(&self, n: usize) -> f64 {
+        let nn = self.matrix_n(n) as f64;
+        2.0 / 3.0 * nn * nn * nn
+    }
+}
+
+impl Workload for Hpl {
+    fn name(&self) -> &'static str {
+        "HPL"
+    }
+
+    fn scaling(&self) -> Scaling {
+        Scaling::WeakReduced
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Gflops
+    }
+
+    fn metric_value(&self, n: usize, seconds: f64) -> f64 {
+        self.total_flops(n) / seconds / 1e9
+    }
+
+    fn skeleton(&self, n: usize) -> Skeleton {
+        let dims = dims_create(n, 2);
+        let (pr, pc) = (dims[0], dims[1]);
+        let nn = self.matrix_n(n);
+        const NB: u64 = 192;
+        let panel_bytes = (nn / pr as u64).max(1) * NB * 8;
+        let u_bytes = (nn / pc as u64).max(1) * NB * 8;
+        let compute_per_step =
+            self.total_flops(n) / self.steps as f64 / n as f64 / NODE_DGEMM_FLOPS;
+        let rows = grid_lines(&dims, 1); // ranks sharing a grid row
+        let cols = grid_lines(&dims, 0);
+        let mut rp = RoundProgram::new(n);
+        // One superstep: panel bcast along every row, U exchange down every
+        // column, trailing update.
+        for row in &rows {
+            rp.bcast_among(row, row[0], panel_bytes);
+        }
+        for col in &cols {
+            let ring: Vec<(usize, usize, u64)> = col
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, col[(i + 1) % col.len()], u_bytes))
+                .collect();
+            rp.exchange(ring);
+        }
+        rp.compute(compute_per_step);
+        Skeleton {
+            setup: 0.0,
+            iters: self.steps as f64,
+            iter: rp,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- HPCG
+
+/// High-Performance Conjugate Gradients: 192^3 local domain; halo + dot
+/// products per iteration; memory-bound.
+#[derive(Debug, Clone)]
+pub struct Hpcg {
+    /// CG iterations.
+    pub iters: u32,
+}
+
+impl Default for Hpcg {
+    fn default() -> Self {
+        Hpcg { iters: 600 }
+    }
+}
+
+/// Flops per rank per HPCG iteration (SpMV + MG over 192^3, ~27-pt).
+const HPCG_FLOPS_PER_ITER: f64 = 1.2e9;
+
+impl Workload for Hpcg {
+    fn name(&self) -> &'static str {
+        "HPCG"
+    }
+
+    fn scaling(&self) -> Scaling {
+        Scaling::Weak
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Gflops
+    }
+
+    fn metric_value(&self, n: usize, seconds: f64) -> f64 {
+        n as f64 * HPCG_FLOPS_PER_ITER * self.iters as f64 / seconds / 1e9
+    }
+
+    fn skeleton(&self, n: usize) -> Skeleton {
+        let dims = dims_create(n, 3);
+        let mut rp = RoundProgram::new(n);
+        let face = 192 * 192 * 8;
+        rp.exchange(halo_exchange(&dims, &[face, face, face]));
+        rp.allreduce(8);
+        rp.allreduce(8);
+        rp.allreduce(8);
+        // Memory-bound: ~3.4 Gflop/s per node.
+        rp.compute(0.35);
+        Skeleton {
+            setup: 0.0,
+            iters: self.iters as f64,
+            iter: rp,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Graph500
+
+/// Graph500 BFS (optimized 2-D implementation): per level, frontier
+/// exchange via alltoall plus a termination allreduce; 16 BFS runs on a
+/// ~1 GiB/process graph.
+#[derive(Debug, Clone)]
+pub struct Graph500 {
+    /// BFS repetitions (paper: 16).
+    pub bfs_runs: u32,
+    /// BFS levels of the RMAT graph (diameter is small).
+    pub levels: u32,
+    /// Graph construction/validation time outside the timed BFS phases
+    /// (counted in capacity runs, excluded from TEPS).
+    pub setup: f64,
+}
+
+impl Default for Graph500 {
+    fn default() -> Self {
+        Graph500 {
+            bfs_runs: 16,
+            levels: 8,
+            setup: 40.0,
+        }
+    }
+}
+
+/// Edges per process: 1 GiB at 16 bytes/edge.
+const EDGES_PER_RANK: f64 = (1u64 << 26) as f64;
+
+impl Workload for Graph500 {
+    fn name(&self) -> &'static str {
+        "GraD"
+    }
+
+    fn scaling(&self) -> Scaling {
+        Scaling::Weak
+    }
+
+    fn node_counts(&self, max: usize) -> Vec<usize> {
+        crate::workload::series_pow2(max)
+    }
+
+    fn metric(&self) -> MetricKind {
+        MetricKind::Gteps
+    }
+
+    fn metric_value(&self, n: usize, seconds: f64) -> f64 {
+        // Median TEPS over the BFS runs = edges / per-BFS time; the graph
+        // construction setup is not part of the timed search.
+        let per_bfs = (seconds - self.setup).max(1e-9) / self.bfs_runs as f64;
+        EDGES_PER_RANK * n as f64 / per_bfs / 1e9
+    }
+
+    fn skeleton(&self, n: usize) -> Skeleton {
+        // Ueno et al.'s optimized 2-D BFS: the process grid is ~sqrt(n) x
+        // sqrt(n); per level, compressed frontier bitmaps travel along grid
+        // rows and edge targets along grid columns — all rows (and all
+        // columns) exchange concurrently, which spreads the traffic over
+        // the fabric instead of funnelling it through a 1-D alltoall.
+        let dims = dims_create(n, 2);
+        let rows = grid_lines(&dims, 0);
+        let cols = grid_lines(&dims, 1);
+        // Compressed frontier bitmaps shared along each row.
+        let bitmap_pair = ((EDGES_PER_RANK / 16.0 / 8.0) as u64 / dims[0] as u64).max(1);
+        // Edge-target exchange along columns, spread over the levels.
+        let edge_pair = ((EDGES_PER_RANK * 4.0 / self.levels as f64) as u64
+            / dims[1].max(1) as u64)
+            .max(1);
+        let mut rp = RoundProgram::new(n);
+        for _ in 0..self.levels {
+            rp.alltoall_concurrent(&rows, bitmap_pair);
+            rp.alltoall_concurrent(&cols, edge_pair);
+            rp.allreduce(8);
+        }
+        rp.compute(0.08);
+        Skeleton {
+            setup: self.setup,
+            iters: self.bfs_runs as f64,
+            iter: rp,
+        }
+    }
+}
+
+/// The three x500 benchmarks in Figure-6 order (j, k, l).
+pub fn all_x500() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Hpl::default()),
+        Box::new(Hpcg::default()),
+        Box::new(Graph500::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxmpi::{Fabric, Placement, Pml};
+    use hxroute::engines::{Dfsssp, RoutingEngine};
+    use hxroute::Routes;
+    use hxsim::NetParams;
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::{NodeId, Topology};
+
+    fn setup() -> (Topology, Routes) {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        (t, r)
+    }
+
+    fn fabric<'a>(t: &'a Topology, r: &'a Routes, n: usize) -> Fabric<'a> {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+    }
+
+    #[test]
+    fn hpl_memory_rule() {
+        let h = Hpl::default();
+        // 1 GiB/proc below 224 nodes: N = sqrt(56 * 2^30 / 8) ~ 86,690.
+        assert!((h.matrix_n(56) as i64 - 86_690).abs() < 10, "{}", h.matrix_n(56));
+        // The 0.25 GiB rule at 224 lands on the same N as 56 full nodes.
+        assert_eq!(h.matrix_n(224), h.matrix_n(56));
+        assert!(h.matrix_n(224) < h.matrix_n(112));
+        assert!(h.total_flops(672) > h.total_flops(7));
+    }
+
+    #[test]
+    fn hpl_per_node_rate_is_plausible() {
+        let (t, r) = setup();
+        let h = Hpl::default();
+        let f = fabric(&t, &r, 16);
+        let s = h.kernel_seconds(&f, 16);
+        let gflops = h.metric_value(16, s);
+        let per_node = gflops / 16.0;
+        // Close to (but below) the 20 Gflop/s DGEMM rate.
+        assert!((10.0..20.0).contains(&per_node), "{per_node} Gflop/s/node");
+    }
+
+    #[test]
+    fn hpcg_rate_is_memory_bound() {
+        let (t, r) = setup();
+        let h = Hpcg::default();
+        let f = fabric(&t, &r, 16);
+        let s = h.kernel_seconds(&f, 16);
+        let per_node = h.metric_value(16, s) / 16.0;
+        // HPCG runs at a few percent of peak: ~3-4 Gflop/s per node.
+        assert!((1.0..6.0).contains(&per_node), "{per_node}");
+        // And far below HPL.
+        assert!(per_node < 10.0);
+    }
+
+    #[test]
+    fn graph500_gteps_scale() {
+        let (t, r) = setup();
+        let g = Graph500::default();
+        let f = fabric(&t, &r, 16);
+        let s = g.kernel_seconds(&f, 16);
+        let gteps = g.metric_value(16, s);
+        assert!(gteps > 0.5 && gteps < 100.0, "{gteps}");
+        // Weak scaling: GTEPS grows with n.
+        let f4 = fabric(&t, &r, 4);
+        let s4 = g.kernel_seconds(&f4, 4);
+        assert!(gteps > g.metric_value(4, s4), "GTEPS must grow with scale");
+    }
+
+    #[test]
+    fn metrics_directions() {
+        assert!(Hpl::default().metric().higher_is_better());
+        assert!(Hpcg::default().metric().higher_is_better());
+        assert!(Graph500::default().metric().higher_is_better());
+    }
+
+    #[test]
+    fn capacity_runtimes_in_window() {
+        let (t, r) = setup();
+        let f = fabric(&t, &r, 32);
+        for w in all_x500() {
+            let s = w.kernel_seconds(&f, 32);
+            assert!((10.0..900.0).contains(&s), "{}: {s}", w.name());
+        }
+    }
+}

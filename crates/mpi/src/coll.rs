@@ -1,0 +1,753 @@
+//! Collective algorithm schedules.
+//!
+//! Compiles MPI collectives into per-rank send/recv/compute programs using
+//! the classic algorithms of MPICH/Open MPI's tuned modules — the same
+//! algorithm families the paper's Open MPI 1.10 stack uses:
+//!
+//! * Barrier — dissemination,
+//! * Bcast — binomial tree; van de Geijn (scatter + ring allgather) for
+//!   large payloads,
+//! * Gather / Scatter — binomial trees with subtree-sized payloads,
+//! * Reduce — binomial tree (+ reduction compute),
+//! * Allreduce — recursive doubling (small, power-of-two) or ring
+//!   (reduce-scatter + allgather; also Baidu's DeepBench algorithm),
+//! * Allgather — recursive doubling (small, power-of-two) or ring,
+//! * Alltoall — Bruck (small) or pairwise exchange.
+//!
+//! A [`ScheduleBuilder`] appends collectives and point-to-point phases into
+//! one [`Program`], which `hxsim` executes against the fabric.
+
+use hxsim::{Op, Program};
+
+/// Reduction compute cost (seconds per byte): memory-bound streaming
+/// add on the Westmere-generation hosts (~4 GB/s effective for
+/// read-read-write).
+pub const REDUCE_SEC_PER_BYTE: f64 = 0.25e-9;
+
+/// Payload threshold above which Bcast switches to van de Geijn.
+pub const BCAST_LARGE: u64 = 128 * 1024;
+
+/// Payload threshold above which Allreduce switches to the ring algorithm.
+pub const ALLREDUCE_LARGE: u64 = 16 * 1024;
+
+/// Per-pair payload threshold below which Alltoall uses Bruck.
+pub const ALLTOALL_SMALL: u64 = 256;
+
+/// Total-payload threshold below which Allgather uses recursive doubling.
+pub const ALLGATHER_SMALL: u64 = 8 * 1024;
+
+/// Incrementally builds a parallel program from collectives and
+/// point-to-point phases. Collectives appended in order execute in order
+/// (per rank); ranks are only synchronized where the algorithms
+/// communicate.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    prog: Program,
+    tag: u32,
+}
+
+impl ScheduleBuilder {
+    /// New schedule over `n` ranks.
+    pub fn new(n: usize) -> ScheduleBuilder {
+        assert!(n > 0);
+        ScheduleBuilder {
+            prog: Program::new(n),
+            tag: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.prog.num_ranks()
+    }
+
+    /// Finishes the schedule.
+    pub fn build(self) -> Program {
+        self.prog
+    }
+
+    fn n(&self) -> usize {
+        self.prog.num_ranks()
+    }
+
+    fn fresh_tag(&mut self) -> u32 {
+        let t = self.tag;
+        self.tag += 1;
+        t
+    }
+
+    fn claim_tags(&mut self, count: usize) -> u32 {
+        let t = self.tag;
+        self.tag += count as u32;
+        t
+    }
+
+    /// Raw send appended to `rank`'s program.
+    pub fn send(&mut self, rank: usize, to: usize, bytes: u64, tag: u32) {
+        self.prog.ops[rank].push(Op::Send { to, bytes, tag });
+    }
+
+    /// Raw receive appended to `rank`'s program.
+    pub fn recv(&mut self, rank: usize, from: usize, tag: u32) {
+        self.prog.ops[rank].push(Op::Recv { from, tag });
+    }
+
+    /// Compute phase on one rank.
+    pub fn compute(&mut self, rank: usize, seconds: f64) {
+        if seconds > 0.0 {
+            self.prog.ops[rank].push(Op::Compute(seconds));
+        }
+    }
+
+    /// Compute phase on every rank.
+    pub fn compute_all(&mut self, seconds: f64) {
+        for r in 0..self.n() {
+            self.compute(r, seconds);
+        }
+    }
+
+    /// A user-level exchange phase: every `(src, dst, bytes)` triple becomes
+    /// one message; all receives are posted after the sends of the same
+    /// rank (non-blocking-send semantics keep this deadlock-free).
+    pub fn exchange(&mut self, msgs: &[(usize, usize, u64)]) {
+        let tag0 = self.fresh_tag();
+        // Per-(src,dst) pair tag disambiguation within the phase.
+        let mut pair_count: std::collections::HashMap<(usize, usize), u32> =
+            std::collections::HashMap::new();
+        let mut recvs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.n()];
+        let mut extra = 0u32;
+        for &(src, dst, bytes) in msgs {
+            let k = pair_count.entry((src, dst)).or_insert(0);
+            let tag = tag0 + *k;
+            extra = extra.max(*k + 1);
+            *k += 1;
+            self.send(src, dst, bytes, tag);
+            recvs[dst].push((src, tag));
+        }
+        for (dst, rs) in recvs.into_iter().enumerate() {
+            for (src, tag) in rs {
+                self.recv(dst, src, tag);
+            }
+        }
+        self.tag += extra;
+    }
+
+    /// Dissemination barrier: `ceil(log2 n)` rounds of zero-byte messages.
+    pub fn barrier(&mut self) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        let tag0 = self.claim_tags(rounds as usize);
+        for k in 0..rounds {
+            let d = 1usize << k;
+            let tag = tag0 + k;
+            for r in 0..n {
+                self.send(r, (r + d) % n, 0, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - d) % n, tag);
+            }
+        }
+    }
+
+    /// Broadcast `bytes` from `root`.
+    pub fn bcast(&mut self, root: usize, bytes: u64) {
+        if self.n() < 2 {
+            return;
+        }
+        if bytes >= BCAST_LARGE && self.n() > 2 {
+            // van de Geijn: scatter then ring allgather.
+            let chunk = bytes.div_ceil(self.n() as u64);
+            self.scatter_internal(root, chunk);
+            self.allgather_ring(chunk);
+        } else {
+            self.bcast_binomial(root, bytes);
+        }
+    }
+
+    /// Binomial-tree broadcast (any `n`).
+    pub fn bcast_binomial(&mut self, root: usize, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag = self.fresh_tag();
+        for r in 0..n {
+            let vr = (r + n - root) % n;
+            // Receive from parent.
+            let mut mask = 1usize;
+            while mask < n {
+                if vr & mask != 0 {
+                    let parent = (vr - mask + root) % n;
+                    self.recv(r, parent, tag);
+                    break;
+                }
+                mask <<= 1;
+            }
+            // Send to children, largest subtree first.
+            mask >>= 1;
+            while mask > 0 {
+                if vr + mask < n {
+                    let child = (vr + mask + root) % n;
+                    self.send(r, child, bytes, tag);
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
+    /// Gather `bytes` per rank to `root` (binomial).
+    pub fn gather(&mut self, root: usize, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag = self.fresh_tag();
+        for r in 0..n {
+            let vr = (r + n - root) % n;
+            let mut mask = 1usize;
+            while mask < n {
+                if vr & mask != 0 {
+                    // Send own block plus everything gathered from children.
+                    let subtree = mask.min(n - vr) as u64;
+                    let parent = (vr - mask + root) % n;
+                    self.send(r, parent, subtree * bytes, tag);
+                    break;
+                }
+                if vr + mask < n {
+                    let child = (vr + mask + root) % n;
+                    self.recv(r, child, tag);
+                }
+                mask <<= 1;
+            }
+        }
+    }
+
+    /// Scatter `bytes` per rank from `root` (binomial).
+    pub fn scatter(&mut self, root: usize, bytes: u64) {
+        self.scatter_internal(root, bytes);
+    }
+
+    fn scatter_internal(&mut self, root: usize, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag = self.fresh_tag();
+        let top = n.next_power_of_two();
+        for r in 0..n {
+            let vr = (r + n - root) % n;
+            // Receive my subtree's data from the parent.
+            let start_mask = if vr == 0 {
+                top >> 1
+            } else {
+                let low = vr & vr.wrapping_neg(); // lowest set bit
+                let parent = (vr - low + root) % n;
+                self.recv(r, parent, tag);
+                low >> 1
+            };
+            // Forward sub-subtrees to children, largest first.
+            let mut mask = start_mask;
+            while mask > 0 {
+                if vr + mask < n {
+                    let child = (vr + mask + root) % n;
+                    let sub = mask.min(n - vr - mask) as u64;
+                    self.send(r, child, sub * bytes, tag);
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
+    /// Reduce `bytes` to `root` (binomial, commutative op).
+    pub fn reduce(&mut self, root: usize, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag = self.fresh_tag();
+        for r in 0..n {
+            let vr = (r + n - root) % n;
+            let mut mask = 1usize;
+            while mask < n {
+                if vr & mask != 0 {
+                    let parent = (vr - mask + root) % n;
+                    self.send(r, parent, bytes, tag);
+                    break;
+                }
+                if vr + mask < n {
+                    let child = (vr + mask + root) % n;
+                    self.recv(r, child, tag);
+                    self.compute(r, bytes as f64 * REDUCE_SEC_PER_BYTE);
+                }
+                mask <<= 1;
+            }
+        }
+    }
+
+    /// Allreduce `bytes` on every rank: recursive doubling for small
+    /// power-of-two cases, ring otherwise.
+    pub fn allreduce(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        if bytes < ALLREDUCE_LARGE && n.is_power_of_two() {
+            self.allreduce_recursive_doubling(bytes);
+        } else {
+            self.allreduce_ring(bytes);
+        }
+    }
+
+    /// Recursive-doubling allreduce (requires power-of-two ranks).
+    pub fn allreduce_recursive_doubling(&mut self, bytes: u64) {
+        let n = self.n();
+        assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
+        if n < 2 {
+            return;
+        }
+        let rounds = n.trailing_zeros() as usize;
+        let tag0 = self.claim_tags(rounds);
+        for k in 0..rounds {
+            let tag = tag0 + k as u32;
+            for r in 0..n {
+                let partner = r ^ (1 << k);
+                self.send(r, partner, bytes, tag);
+            }
+            for r in 0..n {
+                let partner = r ^ (1 << k);
+                self.recv(r, partner, tag);
+                self.compute(r, bytes as f64 * REDUCE_SEC_PER_BYTE);
+            }
+        }
+    }
+
+    /// Ring allreduce: reduce-scatter then allgather, `2(n-1)` steps of
+    /// `bytes/n` chunks — Baidu DeepBench's algorithm.
+    pub fn allreduce_ring(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let chunk = bytes.div_ceil(n as u64).max(1);
+        let steps = 2 * (n - 1);
+        let tag0 = self.claim_tags(steps);
+        for s in 0..steps {
+            let tag = tag0 + s as u32;
+            let reduce_phase = s < n - 1;
+            for r in 0..n {
+                self.send(r, (r + 1) % n, chunk, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - 1) % n, tag);
+                if reduce_phase {
+                    self.compute(r, chunk as f64 * REDUCE_SEC_PER_BYTE);
+                }
+            }
+        }
+    }
+
+    /// Allgather of `bytes` per rank.
+    pub fn allgather(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        if bytes * n as u64 <= ALLGATHER_SMALL && n.is_power_of_two() {
+            self.allgather_recursive_doubling(bytes);
+        } else {
+            self.allgather_ring(bytes);
+        }
+    }
+
+    /// Ring allgather: `n-1` steps passing `bytes` blocks around.
+    pub fn allgather_ring(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag0 = self.claim_tags(n - 1);
+        for s in 0..n - 1 {
+            let tag = tag0 + s as u32;
+            for r in 0..n {
+                self.send(r, (r + 1) % n, bytes, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - 1) % n, tag);
+            }
+        }
+    }
+
+    /// Recursive-doubling allgather (power-of-two ranks; payload doubles
+    /// each round).
+    pub fn allgather_recursive_doubling(&mut self, bytes: u64) {
+        let n = self.n();
+        assert!(n.is_power_of_two());
+        if n < 2 {
+            return;
+        }
+        let rounds = n.trailing_zeros() as usize;
+        let tag0 = self.claim_tags(rounds);
+        for k in 0..rounds {
+            let tag = tag0 + k as u32;
+            let payload = bytes * (1u64 << k);
+            for r in 0..n {
+                self.send(r, r ^ (1 << k), payload, tag);
+            }
+            for r in 0..n {
+                self.recv(r, r ^ (1 << k), tag);
+            }
+        }
+    }
+
+    /// Ring reduce-scatter: each rank ends up with the reduction of its
+    /// `bytes`-sized block — the first half of the ring allreduce, used
+    /// standalone by Graph500's distributed frontier reduction (Table 2).
+    pub fn reduce_scatter_ring(&mut self, bytes_per_block: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag0 = self.claim_tags(n - 1);
+        for s in 0..n - 1 {
+            let tag = tag0 + s as u32;
+            for r in 0..n {
+                self.send(r, (r + 1) % n, bytes_per_block, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - 1) % n, tag);
+                self.compute(r, bytes_per_block as f64 * REDUCE_SEC_PER_BYTE);
+            }
+        }
+    }
+
+    /// Alltoall with `bytes` per rank pair.
+    pub fn alltoall(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        if bytes <= ALLTOALL_SMALL {
+            self.alltoall_bruck(bytes);
+        } else {
+            self.alltoall_pairwise(bytes);
+        }
+    }
+
+    /// Pairwise-exchange alltoall: `n-1` rounds, round `i` sends to
+    /// `rank + i` and receives from `rank - i`.
+    pub fn alltoall_pairwise(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let tag0 = self.claim_tags(n - 1);
+        for i in 1..n {
+            let tag = tag0 + (i - 1) as u32;
+            for r in 0..n {
+                self.send(r, (r + i) % n, bytes, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - i) % n, tag);
+            }
+        }
+    }
+
+    /// Bruck alltoall: `ceil(log2 n)` rounds of aggregated blocks — fewer,
+    /// larger messages for latency-bound payloads.
+    pub fn alltoall_bruck(&mut self, bytes: u64) {
+        let n = self.n();
+        if n < 2 {
+            return;
+        }
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        let tag0 = self.claim_tags(rounds as usize);
+        for k in 0..rounds {
+            let pk = 1usize << k;
+            let tag = tag0 + k;
+            // Blocks j in 0..n whose bit k is set travel this round.
+            let full = (n >> (k + 1)) << k;
+            let rem = (n & ((pk << 1) - 1)).saturating_sub(pk);
+            let cnt = (full + rem) as u64;
+            for r in 0..n {
+                self.send(r, (r + pk) % n, cnt * bytes, tag);
+            }
+            for r in 0..n {
+                self.recv(r, (r + n - pk) % n, tag);
+            }
+        }
+    }
+
+    /// `iters` ping-pong exchanges of `bytes` between two ranks.
+    pub fn pingpong(&mut self, a: usize, b: usize, bytes: u64, iters: usize) {
+        assert_ne!(a, b);
+        for _ in 0..iters {
+            let t1 = self.fresh_tag();
+            let t2 = self.fresh_tag();
+            self.send(a, b, bytes, t1);
+            self.recv(b, a, t1);
+            self.send(b, a, bytes, t2);
+            self.recv(a, b, t2);
+        }
+    }
+
+    /// IMB Multi-PingPong: ranks `i` and `i + n/2` exchange concurrently.
+    pub fn multi_pingpong(&mut self, bytes: u64, iters: usize) {
+        let n = self.n();
+        assert!(n >= 2 && n.is_multiple_of(2), "multi-pingpong needs even ranks");
+        let half = n / 2;
+        for _ in 0..iters {
+            let tag0 = self.claim_tags(2);
+            for i in 0..half {
+                let (a, b) = (i, i + half);
+                self.send(a, b, bytes, tag0);
+                self.recv(b, a, tag0);
+                self.send(b, a, bytes, tag0 + 1);
+                self.recv(a, b, tag0 + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::placement::Placement;
+    use crate::pml::Pml;
+    use hxroute::engines::{Dfsssp, RoutingEngine};
+    use hxroute::Routes;
+    use hxsim::{NetParams, Simulator};
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::{NodeId, Topology};
+
+    fn setup(nodes: usize) -> (Topology, Routes) {
+        let t = HyperXConfig::new(vec![4, 4], nodes.div_ceil(16) as u32).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        (t, r)
+    }
+
+    fn run(t: &Topology, r: &Routes, prog: &hxsim::Program) -> f64 {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            t,
+            r,
+            Placement::linear(&nodes, prog.num_ranks()),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        Simulator::new(t, &f, NetParams::qdr()).run(prog).makespan
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let (t, r) = setup(16);
+        let mut times = Vec::new();
+        for n in [2usize, 4, 8, 16] {
+            let mut b = ScheduleBuilder::new(n);
+            b.barrier();
+            times.push(run(&t, &r, &b.build()));
+        }
+        // Monotone in rounds and within ~per-round bounds.
+        assert!(times[0] < times[1] && times[1] < times[2] && times[2] < times[3]);
+        // 16 ranks = 4 rounds: latency under 4x a generous per-round bound.
+        assert!(times[3] < 4.0 * 10e-6, "{times:?}");
+    }
+
+    #[test]
+    fn barrier_message_count() {
+        let mut b = ScheduleBuilder::new(10);
+        b.barrier();
+        // ceil(log2 10) = 4 rounds x 10 ranks.
+        assert_eq!(b.build().num_messages(), 40);
+    }
+
+    #[test]
+    fn bcast_binomial_message_count() {
+        let mut b = ScheduleBuilder::new(16);
+        b.bcast_binomial(0, 1024);
+        // A broadcast reaches 15 ranks with exactly 15 messages.
+        assert_eq!(b.build().num_messages(), 15);
+    }
+
+    #[test]
+    fn bcast_nonzero_root_completes() {
+        let (t, r) = setup(16);
+        for root in [0usize, 3, 15] {
+            let mut b = ScheduleBuilder::new(16);
+            b.bcast_binomial(root, 4096);
+            let m = run(&t, &r, &b.build());
+            assert!(m > 0.0 && m < 1.0);
+        }
+    }
+
+    #[test]
+    fn large_bcast_uses_van_de_geijn() {
+        let mut b = ScheduleBuilder::new(8);
+        b.bcast(0, 1 << 20);
+        let p = b.build();
+        // scatter (7 msgs) + ring allgather (8 * 7 msgs) = 63.
+        assert_eq!(p.num_messages(), 63);
+    }
+
+    #[test]
+    fn gather_and_scatter_complete_any_n() {
+        let (t, r) = setup(16);
+        for n in [3usize, 7, 12, 16] {
+            for root in [0usize, n - 1] {
+                let mut b = ScheduleBuilder::new(n);
+                b.gather(root, 1024);
+                b.scatter(root, 1024);
+                let m = run(&t, &r, &b.build());
+                assert!(m > 0.0, "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_root_receives_all_data() {
+        // Binomial gather: total bytes received by root = (n-1) * bytes.
+        let mut b = ScheduleBuilder::new(8);
+        b.gather(0, 100);
+        let p = b.build();
+        let sent: u64 = p.ops[1..]
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                Op::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        // Every rank's block crosses towards root once per tree edge; the
+        // three direct children of root deliver all 7 blocks.
+        let into_root: u64 = p
+            .ops
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                Op::Send { to: 0, bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(into_root, 700);
+        assert!(sent >= 700);
+    }
+
+    #[test]
+    fn allreduce_ring_bandwidth_shape() {
+        let (t, r) = setup(16);
+        // Large ring allreduce moves ~2*bytes per node: time must be close
+        // to 2 * bytes / cap for co-located ranks, far below n * bytes / cap.
+        let bytes = 8u64 << 20;
+        let mut b = ScheduleBuilder::new(8);
+        b.allreduce_ring(bytes);
+        let m = run(&t, &r, &b.build());
+        let cap = 3.4e9;
+        let lower = 2.0 * (7.0 / 8.0) * bytes as f64 / cap;
+        assert!(m >= lower * 0.9, "{m} vs {lower}");
+        assert!(m <= lower * 3.0, "{m} vs {lower}");
+    }
+
+    #[test]
+    fn allreduce_selects_algorithm() {
+        let mut small = ScheduleBuilder::new(8);
+        small.allreduce(1024);
+        // Recursive doubling: 3 rounds x 8 ranks = 24 msgs.
+        assert_eq!(small.build().num_messages(), 24);
+        let mut large = ScheduleBuilder::new(8);
+        large.allreduce(1 << 20);
+        // Ring: 14 steps x 8 = 112.
+        assert_eq!(large.build().num_messages(), 112);
+        let mut odd = ScheduleBuilder::new(6);
+        odd.allreduce(1024);
+        // Non-power-of-two falls back to ring: 10 steps x 6 = 60.
+        assert_eq!(odd.build().num_messages(), 60);
+    }
+
+    #[test]
+    fn alltoall_pairwise_counts() {
+        let mut b = ScheduleBuilder::new(7);
+        b.alltoall_pairwise(4096);
+        assert_eq!(b.build().num_messages(), 7 * 6);
+    }
+
+    #[test]
+    fn alltoall_bruck_counts_and_volume() {
+        let n = 8usize;
+        let mut b = ScheduleBuilder::new(n);
+        b.alltoall_bruck(64);
+        let p = b.build();
+        assert_eq!(p.num_messages(), n * 3); // log2(8) rounds
+        // Each round carries n/2 blocks.
+        for ops in &p.ops {
+            for o in ops {
+                if let Op::Send { bytes, .. } = o {
+                    assert_eq!(*bytes, 4 * 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_completes_on_non_power_of_two() {
+        let (t, r) = setup(16);
+        for n in [5usize, 11, 14] {
+            let mut b = ScheduleBuilder::new(n);
+            b.alltoall(64); // bruck
+            b.alltoall(8192); // pairwise
+            let m = run(&t, &r, &b.build());
+            assert!(m > 0.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pingpong_latency_matches_params() {
+        let (t, r) = setup(16);
+        let mut b = ScheduleBuilder::new(2);
+        b.pingpong(0, 1, 0, 1);
+        let m = run(&t, &r, &b.build());
+        // setup(16) gives one node per switch; the 2-D HyperX connects
+        // adjacent switches directly: 2 switches, 3 cables per direction.
+        let one_way = NetParams::qdr().base_latency(2, 3);
+        assert!((m - 2.0 * one_way).abs() < 1e-7, "{m}");
+    }
+
+    #[test]
+    fn multi_pingpong_is_concurrent() {
+        let (t, r) = setup(16);
+        let bytes = 1u64 << 20;
+        let mut one = ScheduleBuilder::new(2);
+        one.pingpong(0, 1, bytes, 1);
+        let t_one = run(&t, &r, &one.build());
+        let mut many = ScheduleBuilder::new(16);
+        many.multi_pingpong(bytes, 1);
+        let t_many = run(&t, &r, &many.build());
+        // Eight concurrent pairs on disjoint terminal links should not take
+        // 8x one pair.
+        assert!(t_many < 4.0 * t_one, "{t_many} vs {t_one}");
+    }
+
+    #[test]
+    fn exchange_handles_duplicate_pairs() {
+        let (t, r) = setup(16);
+        let mut b = ScheduleBuilder::new(4);
+        b.exchange(&[(0, 1, 100), (0, 1, 200), (2, 3, 50)]);
+        let m = run(&t, &r, &b.build());
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn composed_schedule_runs_in_order() {
+        let (t, r) = setup(16);
+        let mut b = ScheduleBuilder::new(8);
+        b.compute_all(1e-3);
+        b.allreduce(4096);
+        b.barrier();
+        b.bcast(0, 4096);
+        let m = run(&t, &r, &b.build());
+        assert!(m >= 1e-3);
+        assert!(m < 2e-3, "{m}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The fabric: glues placement, routing tables and the PML into a
+//! [`hxsim::PathResolver`], with a path cache so repeated messages between
+//! the same endpoints do not re-walk the forwarding tables.
+
+use crate::placement::Placement;
+use crate::pml::Pml;
+use hxroute::{DirLink, Routes};
+use hxsim::{NetParams, PathResolver, ResolvedPath};
+use hxtopo::{NodeId, Topology};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A routed fabric: topology + forwarding state + rank placement + PML.
+pub struct Fabric<'a> {
+    /// The physical network.
+    pub topo: &'a Topology,
+    /// Forwarding state produced by a routing engine.
+    pub routes: &'a Routes,
+    /// Rank-to-node mapping.
+    pub placement: Placement,
+    /// Messaging layer.
+    pub pml: Pml,
+    /// Timing parameters (for the PML's extra overhead).
+    pub params: NetParams,
+    cache: RwLock<HashMap<u64, Arc<[DirLink]>>>,
+}
+
+impl<'a> Fabric<'a> {
+    /// Assembles a fabric.
+    pub fn new(
+        topo: &'a Topology,
+        routes: &'a Routes,
+        placement: Placement,
+        pml: Pml,
+        params: NetParams,
+    ) -> Fabric<'a> {
+        Fabric {
+            topo,
+            routes,
+            placement,
+            pml,
+            params,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn cache_key(src: NodeId, dst: NodeId, lid_idx: u32) -> u64 {
+        (src.0 as u64) << 34 | (dst.0 as u64) << 4 | lid_idx as u64
+    }
+
+    /// The routed path between two nodes for a LID index, cached.
+    pub fn node_path(&self, src: NodeId, dst: NodeId, lid_idx: u32) -> Arc<[DirLink]> {
+        let key = Self::cache_key(src, dst, lid_idx);
+        if let Some(p) = self.cache.read().get(&key) {
+            return p.clone();
+        }
+        let path = self
+            .routes
+            .path_to(self.topo, src, dst, lid_idx)
+            .unwrap_or_else(|e| panic!("unroutable {src}->{dst} lid{lid_idx}: {e}"));
+        let arc: Arc<[DirLink]> = path.hops.into();
+        self.cache.write().insert(key, arc.clone());
+        arc
+    }
+
+    /// Extra software overhead the PML charges per message.
+    pub fn pml_overhead(&self) -> f64 {
+        if self.pml.is_bfo() {
+            self.params.bfo_extra
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PathResolver for Fabric<'_> {
+    fn resolve(&self, src: usize, dst: usize, bytes: u64, seq: u64) -> ResolvedPath {
+        let sn = self.placement.node(src);
+        let dn = self.placement.node(dst);
+        if sn == dn {
+            return ResolvedPath {
+                hops: Vec::new(),
+                extra_overhead: 0.0,
+            };
+        }
+        let lid_idx = self
+            .pml
+            .select_lid_index(self.topo, self.routes, sn, dn, bytes, seq);
+        let hops = self.node_path(sn, dn, lid_idx).to_vec();
+        ResolvedPath {
+            hops,
+            extra_overhead: self.pml_overhead(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxroute::engines::{Dfsssp, Parx, RoutingEngine};
+    use hxtopo::hyperx::HyperXConfig;
+
+    #[test]
+    fn resolve_respects_placement() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        // Reversed placement: rank 0 on the last node.
+        let mut nodes: Vec<NodeId> = t.nodes().collect();
+        nodes.reverse();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::explicit(nodes.clone(), "reversed"),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let rp = f.resolve(0, 1, 1024, 0);
+        // Rank 0 = last node, rank 1 = second-to-last; same switch => 2 hops.
+        assert_eq!(rp.hops.len(), 2);
+        assert_eq!(rp.extra_overhead, 0.0);
+    }
+
+    #[test]
+    fn self_message_resolves_empty() {
+        let t = HyperXConfig::new(vec![2, 2], 1).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 4),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        assert!(f.resolve(2, 2, 100, 0).hops.is_empty());
+    }
+
+    #[test]
+    fn cache_returns_identical_paths() {
+        let t = HyperXConfig::new(vec![4, 4], 1).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 16),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let a = f.node_path(NodeId(0), NodeId(9), 0);
+        let b = f.node_path(NodeId(0), NodeId(9), 0);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+    }
+
+    #[test]
+    fn parx_large_messages_use_bfo_overhead_and_lid_choice() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Parx::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 32),
+            Pml::parx(),
+            NetParams::qdr(),
+        );
+        let rp = f.resolve(0, 20, 1 << 20, 0);
+        assert!(rp.extra_overhead > 0.0);
+        assert!(!rp.hops.is_empty());
+    }
+
+    #[test]
+    fn parx_small_vs_large_can_take_different_routes() {
+        // Same-quadrant remote pair: small goes minimal, large detours.
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let hx = t.meta.as_hyperx().unwrap().clone();
+        let r = Parx::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 32),
+            Pml::parx(),
+            NetParams::qdr(),
+        );
+        // Find two ranks in the same quadrant on different switches.
+        let mut found = false;
+        'outer: for a in 0..32usize {
+            for b in 0..32usize {
+                let (na, nb) = (f.placement.node(a), f.placement.node(b));
+                let (sa, sb) = (t.node_switch(na).0, t.node_switch(nb).0);
+                if sa != sb && hx.quadrant(sa) == hx.quadrant(sb) {
+                    let small = f.resolve(a, b, 64, 0);
+                    let large = f.resolve(a, b, 1 << 20, 0);
+                    if large.hops.len() > small.hops.len() {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "some same-quadrant pair must detour for large messages");
+    }
+}

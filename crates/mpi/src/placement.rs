@@ -1,0 +1,187 @@
+//! Rank-to-node placements (paper Section 4.4.3).
+//!
+//! * **linear** — rank `i` on node `n_i`: the common resource-allocation
+//!   practice that isolates small jobs into network subpartitions,
+//! * **clustered** — simulates fragmentation of a production system: the
+//!   stride from one allocated node to the next is drawn from a geometric
+//!   distribution with success probability 0.8,
+//! * **random** — the paper's cheap stand-in for topology-aware mapping on
+//!   the HyperX (Section 3.1): a seeded random subset/permutation.
+
+use hxtopo::NodeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The geometric-distribution success probability of the paper's clustered
+/// placement.
+pub const CLUSTERED_P: f64 = 0.8;
+
+/// A rank-to-node mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    ranks: Vec<NodeId>,
+    /// Placement-scheme label for reports.
+    pub scheme: &'static str,
+}
+
+impl Placement {
+    /// Linear: first `n_ranks` nodes of the pool, in order.
+    pub fn linear(pool: &[NodeId], n_ranks: usize) -> Placement {
+        assert!(n_ranks <= pool.len(), "pool too small");
+        Placement {
+            ranks: pool[..n_ranks].to_vec(),
+            scheme: "linear",
+        }
+    }
+
+    /// Clustered: walk the pool with geometric strides (p = 0.8), wrapping
+    /// and filling the earliest unused node when a stride lands on an
+    /// already-used one. The same seed reproduces the same fragmentation.
+    pub fn clustered(pool: &[NodeId], n_ranks: usize, seed: u64) -> Placement {
+        assert!(n_ranks <= pool.len(), "pool too small");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc105_7e4e);
+        let mut used = vec![false; pool.len()];
+        let mut ranks = Vec::with_capacity(n_ranks);
+        let mut i = 0usize;
+        used[0] = true;
+        ranks.push(pool[0]);
+        while ranks.len() < n_ranks {
+            // Geometric stride >= 1: number of Bernoulli(p) trials until
+            // first success.
+            let mut delta = 1usize;
+            while rng.gen::<f64>() > CLUSTERED_P {
+                delta += 1;
+            }
+            i += delta;
+            // Wrap around the pool; if taken, advance to the next free node.
+            let mut j = i % pool.len();
+            let mut guard = 0;
+            while used[j] {
+                j = (j + 1) % pool.len();
+                guard += 1;
+                assert!(guard <= pool.len(), "pool exhausted");
+            }
+            used[j] = true;
+            i = j;
+            ranks.push(pool[j]);
+        }
+        Placement {
+            ranks,
+            scheme: "clustered",
+        }
+    }
+
+    /// Random: seeded shuffle, take the first `n_ranks`.
+    pub fn random(pool: &[NodeId], n_ranks: usize, seed: u64) -> Placement {
+        assert!(n_ranks <= pool.len(), "pool too small");
+        let mut nodes = pool.to_vec();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7a4d_0a11);
+        nodes.shuffle(&mut rng);
+        nodes.truncate(n_ranks);
+        Placement {
+            ranks: nodes,
+            scheme: "random",
+        }
+    }
+
+    /// Explicit mapping (used by the capacity scheduler to give each
+    /// application its dedicated node set).
+    pub fn explicit(nodes: Vec<NodeId>, scheme: &'static str) -> Placement {
+        Placement {
+            ranks: nodes,
+            scheme,
+        }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Node of a rank.
+    #[inline]
+    pub fn node(&self, rank: usize) -> NodeId {
+        self.ranks[rank]
+    }
+
+    /// The full mapping.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn linear_is_identity_prefix() {
+        let p = Placement::linear(&pool(10), 4);
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(p.num_ranks(), 4);
+        assert_eq!(p.scheme, "linear");
+    }
+
+    #[test]
+    fn clustered_strides_look_geometric() {
+        let p = Placement::clustered(&pool(672), 100, 1);
+        // No duplicates.
+        let mut s: Vec<_> = p.nodes().to_vec();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), 100);
+        // Average stride for p=0.8 is 1.25: 100 ranks should span well under
+        // 300 nodes.
+        let max = p.nodes().iter().map(|n| n.0).max().unwrap();
+        assert!(max < 300, "clustered spread too wide: {max}");
+        // But some fragmentation must exist (not purely linear).
+        assert_ne!(p.nodes(), Placement::linear(&pool(672), 100).nodes());
+    }
+
+    #[test]
+    fn clustered_deterministic() {
+        let a = Placement::clustered(&pool(100), 50, 7);
+        let b = Placement::clustered(&pool(100), 50, 7);
+        assert_eq!(a, b);
+        let c = Placement::clustered(&pool(100), 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_full_pool() {
+        // Requesting every node must terminate (wrap + next-free logic).
+        let p = Placement::clustered(&pool(32), 32, 3);
+        let mut s: Vec<_> = p.nodes().to_vec();
+        s.sort();
+        assert_eq!(s, pool(32));
+    }
+
+    #[test]
+    fn random_is_permutation_prefix() {
+        let p = Placement::random(&pool(50), 50, 11);
+        let mut s: Vec<_> = p.nodes().to_vec();
+        s.sort();
+        assert_eq!(s, pool(50));
+        // Shuffled, not identity.
+        assert_ne!(p.nodes(), pool(50).as_slice());
+    }
+
+    #[test]
+    fn random_deterministic() {
+        let a = Placement::random(&pool(100), 20, 5);
+        let b = Placement::random(&pool(100), 20, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscription_rejected() {
+        Placement::linear(&pool(3), 4);
+    }
+}

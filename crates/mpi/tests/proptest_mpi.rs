@@ -1,0 +1,148 @@
+//! Property-based tests of the MPI layer: collective schedules are
+//! deadlock-free and complete for arbitrary rank counts and payloads;
+//! placements are injective; the round model matches the schedule builder.
+
+use hxmpi::{estimate, Fabric, Placement, Pml, RoundProgram, ScheduleBuilder};
+use hxroute::engines::{Dfsssp, RoutingEngine};
+use hxroute::Routes;
+use hxsim::{NetParams, Op, Simulator};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{NodeId, Topology};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static (Topology, Routes) {
+    static W: OnceLock<(Topology, Routes)> = OnceLock::new();
+    W.get_or_init(|| {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        (t, r)
+    })
+}
+
+fn fabric(n: usize) -> Fabric<'static> {
+    let (t, r) = world();
+    let nodes: Vec<NodeId> = t.nodes().collect();
+    Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+}
+
+/// Sanity: every posted receive has a matching send with the same
+/// (src, dst, tag) and vice versa — a static deadlock-freedom check.
+fn sends_match_recvs(prog: &hxsim::Program) -> bool {
+    use std::collections::HashMap;
+    let mut sends: HashMap<(usize, usize, u32), i64> = HashMap::new();
+    for (rank, ops) in prog.ops.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::Send { to, tag, .. } => *sends.entry((rank, to, tag)).or_default() += 1,
+                Op::Recv { from, tag } => *sends.entry((from, rank, tag)).or_default() -= 1,
+                Op::Compute(_) => {}
+            }
+        }
+    }
+    sends.values().all(|&v| v == 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every collective schedule completes in the exact DES for arbitrary
+    /// rank counts, roots and payloads, and its sends/recvs pair up.
+    #[test]
+    fn collectives_complete(
+        n in 2usize..20,
+        root_pick in 0usize..20,
+        bytes in 1u64..2_000_000,
+    ) {
+        let root = root_pick % n;
+        let mut sb = ScheduleBuilder::new(n);
+        sb.barrier();
+        sb.bcast(root, bytes);
+        sb.gather(root, bytes.min(65536));
+        sb.scatter(root, bytes.min(65536));
+        sb.reduce(root, bytes.min(65536));
+        sb.allreduce(bytes.min(1 << 20));
+        sb.allgather(bytes.min(65536));
+        sb.alltoall(bytes.min(65536));
+        sb.reduce_scatter_ring(bytes.min(65536));
+        let prog = sb.build();
+        prop_assert!(sends_match_recvs(&prog));
+
+        let f = fabric(n);
+        let (t, _) = world();
+        let res = Simulator::new(t, &f, NetParams::qdr()).run(&prog);
+        prop_assert!(res.makespan > 0.0 && res.makespan.is_finite());
+        prop_assert!(res.finish.iter().all(|&x| x <= res.makespan));
+    }
+
+    /// The round model and schedule builder produce identical message
+    /// counts for every collective at every rank count (they implement the
+    /// same algorithms).
+    #[test]
+    fn round_model_message_parity(n in 2usize..33, bytes in 1u64..1_000_000) {
+        let mut sb = ScheduleBuilder::new(n);
+        let mut rp = RoundProgram::new(n);
+        sb.barrier();             rp.barrier();
+        sb.bcast(0, bytes);       rp.bcast(0, bytes);
+        sb.gather(0, bytes);      rp.gather(0, bytes);
+        sb.scatter(0, bytes);     rp.scatter(0, bytes);
+        sb.reduce(0, bytes);      rp.reduce(0, bytes);
+        sb.allreduce(bytes);      rp.allreduce(bytes);
+        sb.allgather(bytes);      rp.allgather(bytes);
+        sb.alltoall(bytes);       rp.alltoall(bytes);
+        sb.reduce_scatter_ring(bytes); rp.reduce_scatter_ring(bytes);
+        prop_assert_eq!(sb.build().num_messages(), rp.num_messages());
+    }
+
+    /// Round-model estimates are positive, finite and monotone in payload.
+    #[test]
+    fn estimate_monotone(n in 2usize..24, small in 1u64..10_000) {
+        let f = fabric(n);
+        let large = small * 64;
+        let time = |bytes: u64| {
+            let mut rp = RoundProgram::new(n);
+            rp.alltoall_among(&(0..n).collect::<Vec<_>>(), bytes);
+            estimate(&f, &rp)
+        };
+        let (ts, tl) = (time(small), time(large));
+        prop_assert!(ts > 0.0 && ts.is_finite());
+        prop_assert!(tl >= ts);
+    }
+
+    /// Placements are injective (no node hosts two ranks) for all schemes.
+    #[test]
+    fn placements_injective(n in 1usize..32, seed in 0u64..500) {
+        let pool: Vec<NodeId> = (0..32).map(NodeId).collect();
+        for p in [
+            Placement::linear(&pool, n),
+            Placement::clustered(&pool, n, seed),
+            Placement::random(&pool, n, seed),
+        ] {
+            let mut nodes: Vec<_> = p.nodes().to_vec();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), n, "{} placement collides", p.scheme);
+        }
+    }
+
+    /// Table-1 LID selection is always one of the listed choices, whatever
+    /// the discriminator.
+    #[test]
+    fn pml_lid_always_valid(
+        a in 0u32..32,
+        b in 0u32..32,
+        bytes in 0u64..10_000_000,
+        seq in 0u64..1000,
+    ) {
+        prop_assume!(a != b);
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let routes = hxroute::engines::Parx::default().route(&topo).unwrap();
+        let hx = topo.meta.as_hyperx().unwrap().clone();
+        let pml = Pml::parx();
+        let x = pml.select_lid_index(&topo, &routes, NodeId(a), NodeId(b), bytes, seq);
+        let sq = hx.quadrant(topo.node_switch(NodeId(a)).0);
+        let dq = hx.quadrant(topo.node_switch(NodeId(b)).0);
+        let class = hxroute::SizeClass::of(bytes, hxroute::DEFAULT_THRESHOLD);
+        prop_assert!(hxroute::lid_choices(sq, dq, class).contains(&(x as u8)));
+    }
+}

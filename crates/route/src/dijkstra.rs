@@ -1,0 +1,277 @@
+//! Destination-rooted, weight-balancing shortest-path computation — the
+//! "modified Dijkstra algorithm of DFSSSP routing" the paper's Algorithm 1
+//! builds on (Domke, Hoefler, Nagel, IPDPS'11).
+//!
+//! The algorithm computes, for one destination switch, the output port every
+//! other switch uses to forward towards it. Costs are lexicographic
+//! `(hop count, accumulated edge weight, tie-break)`: paths are always
+//! minimal in hops, and the per-directed-link weights (incremented by the
+//! engines after each destination is processed) spread the shortest-path
+//! trees across the fabric. A per-cable mask supports PARX's temporary link
+//! removal (rules R1–R4).
+
+use crate::lft::DirLink;
+use hxtopo::{Endpoint, LinkId, SwitchId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-directed-link accumulated weights (indexed by [`DirLink::index`]).
+#[derive(Debug, Clone)]
+pub struct EdgeWeights {
+    w: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Zero weights for a topology.
+    pub fn new(topo: &Topology) -> EdgeWeights {
+        EdgeWeights {
+            w: vec![0; topo.num_links() * 2],
+        }
+    }
+
+    /// Weight of a directed link.
+    #[inline]
+    pub fn get(&self, d: DirLink) -> u64 {
+        self.w[d.index()]
+    }
+
+    /// Adds to a directed link's weight.
+    #[inline]
+    pub fn add(&mut self, d: DirLink, amount: u64) {
+        self.w[d.index()] += amount;
+    }
+
+    /// Maximum weight over all directed links (load-balance metric).
+    pub fn max(&self) -> u64 {
+        self.w.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.w.iter().sum()
+    }
+}
+
+/// Shortest-path tree towards one destination switch.
+#[derive(Debug, Clone)]
+pub struct DestTree {
+    /// The destination.
+    pub dst: SwitchId,
+    /// Hop distance to the destination per switch (`u32::MAX` unreachable).
+    pub hops: Vec<u32>,
+    /// Output cable towards the destination per switch (`None` for the
+    /// destination itself and unreachable switches).
+    pub out: Vec<Option<LinkId>>,
+}
+
+impl DestTree {
+    /// Whether a switch can reach the destination.
+    #[inline]
+    pub fn reachable(&self, s: SwitchId) -> bool {
+        self.hops[s.idx()] != u32::MAX
+    }
+
+    /// Walks from `from` towards the destination, invoking `visit` for every
+    /// directed cable on the way. Returns false if the walk failed.
+    pub fn walk(
+        &self,
+        topo: &Topology,
+        from: SwitchId,
+        mut visit: impl FnMut(DirLink),
+    ) -> bool {
+        let mut cur = from;
+        for _ in 0..=topo.num_switches() {
+            if cur == self.dst {
+                return true;
+            }
+            let Some(link) = self.out[cur.idx()] else {
+                return false;
+            };
+            let dl = DirLink::leaving(topo, link, Endpoint::Switch(cur));
+            visit(dl);
+            match dl.head(topo) {
+                Endpoint::Switch(next) => cur = next,
+                Endpoint::Node(_) => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Computes the shortest-path tree towards `dst` under the given weights.
+///
+/// `mask`, if present, marks cables as usable (`true`) or temporarily
+/// removed (`false`) — terminal cables are never subject to the mask.
+/// Inactive (faulted) cables are always skipped.
+pub fn dijkstra_to_dest(
+    topo: &Topology,
+    dst: SwitchId,
+    weights: &EdgeWeights,
+    mask: Option<&[bool]>,
+) -> DestTree {
+    let n = topo.num_switches();
+    let mut hops = vec![u32::MAX; n];
+    let mut wsum = vec![u64::MAX; n];
+    let mut out: Vec<Option<LinkId>> = vec![None; n];
+
+    // Heap entries: Reverse((hops, weight, switch, via-link)). The switch id
+    // in the key makes pops deterministic among equal costs.
+    let mut heap: BinaryHeap<Reverse<(u32, u64, u32, u32)>> = BinaryHeap::new();
+    hops[dst.idx()] = 0;
+    wsum[dst.idx()] = 0;
+    heap.push(Reverse((0, 0, dst.0, u32::MAX)));
+
+    while let Some(Reverse((h, w, sid, via))) = heap.pop() {
+        let s = SwitchId(sid);
+        // Stale entry?
+        if (h, w) != (hops[s.idx()], wsum[s.idx()]) {
+            continue;
+        }
+        if via != u32::MAX && out[s.idx()].is_none() {
+            out[s.idx()] = Some(LinkId(via));
+        }
+        // Relax neighbors v: traffic flows v -> s, so the edge weight is the
+        // v->s direction of the cable.
+        for (v, link) in topo.active_switch_neighbors(s) {
+            if let Some(m) = mask {
+                if !m[link.idx()] {
+                    continue;
+                }
+            }
+            let dl = DirLink::leaving(topo, link, Endpoint::Switch(v));
+            let cand = (h + 1, w.saturating_add(weights.get(dl)));
+            let cur = (hops[v.idx()], wsum[v.idx()]);
+            let better = cand < cur
+                || (cand == cur
+                    && out[v.idx()].is_some_and(|cur_link| link.0 < cur_link.0));
+            if better {
+                hops[v.idx()] = cand.0;
+                wsum[v.idx()] = cand.1;
+                out[v.idx()] = Some(link);
+                heap.push(Reverse((cand.0, cand.1, v.0, link.0)));
+            }
+        }
+    }
+
+    DestTree { dst, hops, out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::LinkClass;
+
+    #[test]
+    fn tree_reaches_all_switches() {
+        let t = HyperXConfig::new(vec![4, 4], 1).build();
+        let w = EdgeWeights::new(&t);
+        let tree = dijkstra_to_dest(&t, SwitchId(0), &w, None);
+        for s in t.switches() {
+            assert!(tree.reachable(s));
+            // 2-D HyperX: at most 2 hops.
+            assert!(tree.hops[s.idx()] <= 2);
+        }
+        assert_eq!(tree.hops[0], 0);
+        assert!(tree.out[0].is_none());
+    }
+
+    #[test]
+    fn walk_follows_tree() {
+        let t = HyperXConfig::new(vec![3, 3], 1).build();
+        let w = EdgeWeights::new(&t);
+        let tree = dijkstra_to_dest(&t, SwitchId(8), &w, None);
+        for s in t.switches() {
+            let mut hops = 0;
+            assert!(tree.walk(&t, s, |_| hops += 1));
+            assert_eq!(hops, tree.hops[s.idx()]);
+        }
+    }
+
+    #[test]
+    fn weights_divert_ties() {
+        // Square s0-s1-s3, s0-s2-s3: two equal 2-hop paths from s0 to s3.
+        let mut b = hxtopo::TopologyBuilder::new("square", 4);
+        let l01 = b.link_switches(SwitchId(0), SwitchId(1), LinkClass::Aoc);
+        b.link_switches(SwitchId(0), SwitchId(2), LinkClass::Aoc);
+        b.link_switches(SwitchId(1), SwitchId(3), LinkClass::Aoc);
+        b.link_switches(SwitchId(2), SwitchId(3), LinkClass::Aoc);
+        let t = b.build();
+        let mut w = EdgeWeights::new(&t);
+        let tree = dijkstra_to_dest(&t, SwitchId(3), &w, None);
+        let first = tree.out[0].unwrap();
+        // Heavily load the first choice in the travel direction (s0 ->).
+        let dl = DirLink::leaving(&t, first, Endpoint::Switch(SwitchId(0)));
+        w.add(dl, 100);
+        let tree2 = dijkstra_to_dest(&t, SwitchId(3), &w, None);
+        let second = tree2.out[0].unwrap();
+        assert_ne!(first, second, "weight should divert the tie");
+        let _ = l01;
+    }
+
+    #[test]
+    fn hops_stay_minimal_despite_weights() {
+        // Even under heavy weight, paths must stay hop-minimal
+        // (lexicographic cost), matching static shortest-path IB routing.
+        let t = HyperXConfig::new(vec![5], 1).build(); // complete graph K5
+        let mut w = EdgeWeights::new(&t);
+        // Load every cable touching s0 massively.
+        for (id, l) in t.links() {
+            if l.a.switch() == Some(SwitchId(0)) || l.b.switch() == Some(SwitchId(0)) {
+                w.add(DirLink::new(id, true), 1_000_000);
+                w.add(DirLink::new(id, false), 1_000_000);
+            }
+        }
+        let tree = dijkstra_to_dest(&t, SwitchId(0), &w, None);
+        for s in t.switches() {
+            if s != SwitchId(0) {
+                assert_eq!(tree.hops[s.idx()], 1, "direct link must win in K5");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_forces_detours() {
+        // 1-D HyperX of 4 switches (complete graph). Mask out the direct
+        // s1-s0 cable: s1 must take 2 hops.
+        let t = HyperXConfig::new(vec![4], 1).build();
+        let w = EdgeWeights::new(&t);
+        let mut mask = vec![true; t.num_links()];
+        for (id, l) in t.links() {
+            let ab = (l.a.switch(), l.b.switch());
+            if ab == (Some(SwitchId(0)), Some(SwitchId(1)))
+                || ab == (Some(SwitchId(1)), Some(SwitchId(0)))
+            {
+                mask[id.idx()] = false;
+            }
+        }
+        let tree = dijkstra_to_dest(&t, SwitchId(0), &w, Some(&mask));
+        assert_eq!(tree.hops[1], 2);
+        assert_eq!(tree.hops[2], 1);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let t = HyperXConfig::new(vec![3], 1).build();
+        let w = EdgeWeights::new(&t);
+        // Mask all cables of s2.
+        let mut mask = vec![true; t.num_links()];
+        for (id, l) in t.links() {
+            if l.a.switch() == Some(SwitchId(2)) || l.b.switch() == Some(SwitchId(2)) {
+                mask[id.idx()] = false;
+            }
+        }
+        let tree = dijkstra_to_dest(&t, SwitchId(0), &w, Some(&mask));
+        assert!(!tree.reachable(SwitchId(2)));
+        assert!(tree.reachable(SwitchId(1)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = HyperXConfig::new(vec![6, 4], 2).build();
+        let w = EdgeWeights::new(&t);
+        let a = dijkstra_to_dest(&t, SwitchId(7), &w, None);
+        let b = dijkstra_to_dest(&t, SwitchId(7), &w, None);
+        assert_eq!(a.out, b.out);
+    }
+}

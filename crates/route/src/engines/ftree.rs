@@ -1,0 +1,152 @@
+//! OpenSM-style `ftree` routing for Fat-Trees: deterministic shortest paths
+//! with D-mod-K spreading — the output port among equal-distance candidates
+//! is selected by the destination LID, which spreads consecutive
+//! destinations over the uplinks (Zahavi's D-Mod-K scheme).
+//!
+//! This is the paper's Fat-Tree baseline (combo 1). On a healthy folded
+//! Clos all shortest paths are up*/down*, hence deadlock-free with one VL.
+
+use super::RoutingEngine;
+use crate::lft::{RouteError, Routes};
+use crate::lid::{LidMap, LidPolicy};
+use hxtopo::props::bfs_dist;
+use hxtopo::{LinkId, Topology};
+
+/// ftree configuration (no knobs; LMC 0 as deployed in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Ftree;
+
+impl RoutingEngine for Ftree {
+    fn name(&self) -> &'static str {
+        "ftree"
+    }
+
+    fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
+        // ftree requires a tree topology.
+        if topo.meta.as_tree().is_none() {
+            return Err(RouteError::UnsupportedTopology(
+                "ftree requires a Fat-Tree topology",
+            ));
+        }
+        let lid_map = LidMap::new(topo, 0, LidPolicy::Sequential);
+        let mut routes = Routes::new(topo, lid_map, "ftree");
+
+        let dests: Vec<_> = routes.lid_map.lids().collect();
+        let mut candidates: Vec<LinkId> = Vec::new();
+        for (lid, dst) in dests {
+            let (dsw, dlink) = topo.node_switch(dst);
+            let dist = bfs_dist(topo, dsw);
+            for s in topo.switches() {
+                if s == dsw {
+                    routes.set(s, lid, dlink);
+                    continue;
+                }
+                let d = dist[s.idx()];
+                if d == usize::MAX {
+                    continue;
+                }
+                candidates.clear();
+                for (p, link) in topo.active_switch_neighbors(s) {
+                    if dist[p.idx()] + 1 == d {
+                        candidates.push(link);
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                // D-mod-K: spread destinations over the equal candidates.
+                let pick = candidates[lid as usize % candidates.len()];
+                routes.set(s, lid, pick);
+            }
+        }
+        Ok(routes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_deadlock_free, verify_paths};
+    use hxtopo::fattree::FatTreeConfig;
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::NodeId;
+
+    #[test]
+    fn ftree_rejects_hyperx() {
+        let t = HyperXConfig::new(vec![3, 3], 1).build();
+        assert!(matches!(
+            Ftree.route(&t),
+            Err(RouteError::UnsupportedTopology(_))
+        ));
+    }
+
+    #[test]
+    fn ftree_routes_4ary_2tree() {
+        let t = FatTreeConfig::k_ary_n_tree(4, 2);
+        let r = Ftree.route(&t).unwrap();
+        let stats = verify_paths(&t, &r).unwrap();
+        assert!(stats.max_isl_hops <= 2);
+        assert_eq!(stats.pairs, 16 * 15);
+    }
+
+    #[test]
+    fn ftree_is_deadlock_free_on_healthy_tree() {
+        let t = FatTreeConfig::k_ary_n_tree(3, 3);
+        let r = Ftree.route(&t).unwrap();
+        verify_deadlock_free(&t, &r).unwrap();
+    }
+
+    #[test]
+    fn ftree_spreads_uplinks_by_destination() {
+        // Two destinations on another leaf must not always share the same
+        // first uplink.
+        let t = FatTreeConfig::k_ary_n_tree(4, 2);
+        let r = Ftree.route(&t).unwrap();
+        let src = NodeId(0);
+        let (ssw, _) = t.node_switch(src);
+        let mut first_links = std::collections::HashSet::new();
+        // Destinations on other leaves.
+        for dst in t.nodes().skip(4) {
+            let p = r.path(&t, src, r.lid_map.base(dst)).unwrap();
+            if p.isl_hops() > 0 {
+                first_links.insert(p.hops[1]);
+            }
+        }
+        let _ = ssw;
+        assert!(
+            first_links.len() > 1,
+            "D-mod-K should use multiple uplinks, got {first_links:?}"
+        );
+    }
+
+    #[test]
+    fn ftree_tsubame2_full() {
+        let t = FatTreeConfig::tsubame2(672);
+        let r = Ftree.route(&t).unwrap();
+        // Spot-check a sample of pairs rather than all 672*671.
+        for src in [0u32, 100, 333, 671] {
+            for dst in [1u32, 55, 400, 670] {
+                if src == dst {
+                    continue;
+                }
+                let p = r
+                    .path(&t, NodeId(src), r.lid_map.base(NodeId(dst)))
+                    .unwrap();
+                assert!(p.isl_hops() <= 4, "{src}->{dst}: {} ISLs", p.isl_hops());
+            }
+        }
+    }
+
+    #[test]
+    fn ftree_survives_faults() {
+        use hxtopo::faults::FaultPlan;
+        let mut t = FatTreeConfig::tsubame2(672);
+        FaultPlan::t2_fattree().apply(&mut t);
+        let r = Ftree.route(&t).unwrap();
+        for src in [0u32, 250, 500] {
+            for dst in [10u32, 300, 660] {
+                r.path(&t, NodeId(src), r.lid_map.base(NodeId(dst))).unwrap();
+            }
+        }
+    }
+}

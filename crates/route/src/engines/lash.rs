@@ -1,0 +1,87 @@
+//! LASH — LAyered SHortest-path routing (Skeie, Lysne, Theiss, IPDPS'02),
+//! one of the deadlock-free, topology-agnostic alternatives the paper
+//! cites next to DFSSSP and Nue (Section 6).
+//!
+//! LASH computes plain (unbalanced) shortest paths and partitions the
+//! source-destination pairs into virtual layers whose channel dependency
+//! graphs stay acyclic — structurally DFSSSP without the path balancing,
+//! which makes it the cleanest reference point for the "does balancing
+//! matter?" ablation.
+
+use super::{assign_vls, fill_weighted_minimal, RoutingEngine};
+use crate::lft::{RouteError, Routes};
+use crate::lid::{LidMap, LidPolicy};
+use hxtopo::Topology;
+
+/// LASH configuration.
+#[derive(Debug, Clone)]
+pub struct Lash {
+    /// Hardware virtual-lane limit.
+    pub max_vls: u8,
+}
+
+impl Default for Lash {
+    fn default() -> Self {
+        Lash { max_vls: 8 }
+    }
+}
+
+impl RoutingEngine for Lash {
+    fn name(&self) -> &'static str {
+        "lash"
+    }
+
+    fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
+        let lid_map = LidMap::new(topo, 0, LidPolicy::Sequential);
+        let mut routes = Routes::new(topo, lid_map, "lash");
+        fill_weighted_minimal(topo, &mut routes, 0)?;
+        assign_vls(topo, &mut routes, self.max_vls)?;
+        Ok(routes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_deadlock_free, verify_paths};
+    use hxtopo::hyperx::HyperXConfig;
+
+    #[test]
+    fn lash_is_deadlock_free_on_hyperx() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Lash::default().route(&t).unwrap();
+        let stats = verify_paths(&t, &r).unwrap();
+        assert!(stats.max_isl_hops <= 2);
+        let vls = verify_deadlock_free(&t, &r).unwrap();
+        assert!(vls <= 8);
+    }
+
+    #[test]
+    fn lash_matches_minhop_paths() {
+        use super::super::MinHop;
+        let t = HyperXConfig::new(vec![4, 3], 2).build();
+        let lash = Lash::default().route(&t).unwrap();
+        let minhop = MinHop::default().route(&t).unwrap();
+        for src in t.nodes() {
+            for (lid, dst) in lash.lid_map.lids() {
+                if dst == src {
+                    continue;
+                }
+                assert_eq!(
+                    lash.path(&t, src, lid).unwrap().hops,
+                    minhop.path(&t, src, lid).unwrap().hops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lash_survives_faults() {
+        use hxtopo::faults::FaultPlan;
+        let mut t = HyperXConfig::t2_hyperx(70).build();
+        FaultPlan::t2_hyperx().apply(&mut t);
+        let r = Lash::default().route(&t).unwrap();
+        verify_paths(&t, &r).unwrap();
+        verify_deadlock_free(&t, &r).unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Unbalanced hop-minimal routing: like SSSP but without path counting.
+//! All destination trees gravitate to the lowest-indexed cables, which is
+//! the worst case for static minimal routing — kept as the ablation baseline
+//! for DESIGN.md's "oblivious +1 vs demand +w" study.
+
+use super::{fill_weighted_minimal, RoutingEngine};
+use crate::lft::{RouteError, Routes};
+use crate::lid::{LidMap, LidPolicy};
+use hxtopo::Topology;
+
+/// Min-hop routing configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MinHop {
+    /// LID mask control.
+    pub lmc: u8,
+}
+
+impl RoutingEngine for MinHop {
+    fn name(&self) -> &'static str {
+        "minhop"
+    }
+
+    fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
+        let lid_map = LidMap::new(topo, self.lmc, LidPolicy::Sequential);
+        let mut routes = Routes::new(topo, lid_map, "minhop");
+        fill_weighted_minimal(topo, &mut routes, 0)?;
+        Ok(routes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_paths;
+    use hxtopo::hyperx::HyperXConfig;
+
+    #[test]
+    fn minhop_is_minimal() {
+        let t = HyperXConfig::new(vec![4, 3], 2).build();
+        let r = MinHop::default().route(&t).unwrap();
+        let stats = verify_paths(&t, &r).unwrap();
+        assert!(stats.max_isl_hops <= 2);
+    }
+
+    #[test]
+    fn minhop_deterministic() {
+        let t = HyperXConfig::new(vec![3, 3], 1).build();
+        let a = MinHop::default().route(&t).unwrap();
+        let b = MinHop::default().route(&t).unwrap();
+        for src in t.nodes() {
+            for (lid, _) in a.lid_map.lids() {
+                assert_eq!(a.path(&t, src, lid).unwrap(), b.path(&t, src, lid).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Routing engines producing InfiniBand-style forwarding state.
+//!
+//! | engine | paper role |
+//! |---|---|
+//! | [`Ftree`] | OpenSM `ftree` — the Fat-Tree baseline (combo 1) |
+//! | [`Sssp`] | OpenSM SSSP (Hoefler'09) — faulty-Fat-Tree combo 2 |
+//! | [`Dfsssp`] | deadlock-free SSSP (Domke'11) — HyperX combos 3 & 4 |
+//! | [`Parx`] | the paper's contribution — HyperX combo 5 |
+//! | [`UpDown`] | Up*/Down* — classic deadlock-free reference |
+//! | [`MinHop`] | unbalanced hop-minimal baseline for ablations |
+//! | [`Lash`] | LASH — cited deadlock-free alternative (unbalanced + VLs) |
+//! | [`ParxNd`] | extension: PARX generalized to n-dimensional HyperX |
+
+mod dfsssp;
+mod ftree;
+mod lash;
+mod minhop;
+mod parx;
+mod parx_nd;
+mod sssp;
+mod updown;
+
+pub use dfsssp::Dfsssp;
+pub use ftree::Ftree;
+pub use lash::Lash;
+pub use minhop::MinHop;
+pub use parx::Parx;
+pub use parx_nd::{select_lid_nd, HalfRule, ParxNd};
+pub use sssp::Sssp;
+pub use updown::UpDown;
+
+use crate::cdg::{chain_of, Cdg};
+use crate::dijkstra::{DestTree, EdgeWeights};
+use crate::lft::{DirLink, RouteError, Routes};
+use crate::lid::Lid;
+use hxtopo::{Endpoint, NodeId, SwitchId, Topology};
+
+/// A static routing engine: consumes a topology, produces complete
+/// forwarding state.
+pub trait RoutingEngine {
+    /// Engine name as it appears in reports (mirrors the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Computes forwarding tables (and, for deadlock-free engines, the
+    /// service-level table).
+    fn route(&self, topo: &Topology) -> Result<Routes, RouteError>;
+}
+
+/// Installs one destination tree into the LFTs: every reachable switch
+/// forwards `lid` along the tree; the destination switch forwards to the
+/// terminal cable.
+pub(crate) fn install_tree(
+    routes: &mut Routes,
+    tree: &DestTree,
+    lid: Lid,
+    dst_terminal: hxtopo::LinkId,
+) {
+    for (s, out) in tree.out.iter().enumerate() {
+        if let Some(link) = out {
+            routes.set(SwitchId::from_idx(s), lid, *link);
+        }
+    }
+    routes.set(tree.dst, lid, dst_terminal);
+}
+
+/// Walks the installed LFTs from a switch towards a LID, yielding the
+/// directed ISL hops. Returns `Err` on missing entries or loops.
+pub(crate) fn walk_lft(
+    topo: &Topology,
+    routes: &Routes,
+    from: SwitchId,
+    lid: Lid,
+    mut visit: impl FnMut(DirLink),
+) -> Result<(), RouteError> {
+    let mut cur = from;
+    for _ in 0..=topo.num_switches() {
+        let out = routes.get(cur, lid).ok_or(RouteError::NoRoute {
+            switch: cur,
+            lid,
+        })?;
+        let dl = DirLink::leaving(topo, out, Endpoint::Switch(cur));
+        match dl.head(topo) {
+            Endpoint::Node(_) => return Ok(()),
+            Endpoint::Switch(next) => {
+                visit(dl);
+                cur = next;
+            }
+        }
+    }
+    Err(RouteError::ForwardingLoop { lid, at: cur })
+}
+
+/// Weight-balanced minimal routing for every destination LID — the shared
+/// core of [`Sssp`], [`Dfsssp`] and [`MinHop`].
+///
+/// After installing each destination tree, the weights of every directed
+/// cable on every source-node-to-destination path grow by `update_per_path`
+/// (0 disables balancing), which is how SSSP spreads consecutive destination
+/// trees across the fabric.
+pub(crate) fn fill_weighted_minimal(
+    topo: &Topology,
+    routes: &mut Routes,
+    update_per_path: u64,
+) -> Result<(), RouteError> {
+    let mut weights = EdgeWeights::new(topo);
+    let dests: Vec<(Lid, NodeId)> = routes.lid_map.lids().collect();
+    for (lid, dst) in dests {
+        let (dsw, dlink) = topo.node_switch(dst);
+        let tree = crate::dijkstra::dijkstra_to_dest(topo, dsw, &weights, None);
+        install_tree(routes, &tree, lid, dlink);
+        if update_per_path > 0 {
+            for src in topo.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let (ssw, _) = topo.node_switch(src);
+                tree.walk(topo, ssw, |dl| weights.add(dl, update_per_path));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Assigns every `(source switch, destination LID)` path to the lowest
+/// virtual lane whose channel dependency graph stays acyclic — the
+/// VL-based deadlock-avoidance of DFSSSP/PARX (paper Algorithm 1, final
+/// loop). Returns the number of VLs used.
+pub(crate) fn assign_vls(
+    topo: &Topology,
+    routes: &mut Routes,
+    max_vls: u8,
+) -> Result<u8, RouteError> {
+    assert!(max_vls >= 1);
+    let channels = topo.num_links() * 2;
+    let mut cdgs: Vec<Cdg> = vec![Cdg::new(channels)];
+    let mut used: u8 = 1;
+
+    // Only switches that host nodes originate traffic.
+    let src_switches: Vec<SwitchId> = topo
+        .switches()
+        .filter(|&s| topo.attached_nodes(s).next().is_some())
+        .collect();
+    let dests: Vec<(Lid, NodeId)> = routes.lid_map.lids().collect();
+
+    let mut hops: Vec<DirLink> = Vec::with_capacity(8);
+    for &(lid, dst) in &dests {
+        let (dsw, _) = topo.node_switch(dst);
+        for &ssw in &src_switches {
+            if ssw == dsw {
+                continue;
+            }
+            hops.clear();
+            walk_lft(topo, routes, ssw, lid, |dl| hops.push(dl))?;
+            let chain = chain_of(&hops);
+            if chain.is_empty() {
+                continue; // single-hop paths cannot deadlock
+            }
+            let mut placed = false;
+            for vl in 0..used {
+                if !cdgs[vl as usize].would_cycle(&chain) {
+                    cdgs[vl as usize].add_chain(&chain);
+                    *routes.sl_entry_mut(ssw, lid) = vl;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                if used >= max_vls {
+                    return Err(RouteError::VlOverflow {
+                        required: used + 1,
+                        available: max_vls,
+                    });
+                }
+                cdgs.push(Cdg::new(channels));
+                cdgs[used as usize].add_chain(&chain);
+                *routes.sl_entry_mut(ssw, lid) = used;
+                used += 1;
+            }
+        }
+    }
+    routes.num_vls = used;
+    Ok(used)
+}

@@ -1,0 +1,103 @@
+//! OpenSM-style SSSP routing (Hoefler, Schneider, Lumsdaine, HOTI'09):
+//! hop-minimal paths, globally balanced by counting the number of
+//! source-destination paths already assigned to every directed cable.
+
+use super::{fill_weighted_minimal, RoutingEngine};
+use crate::lft::{RouteError, Routes};
+use crate::lid::{LidMap, LidPolicy};
+use hxtopo::Topology;
+
+/// SSSP routing configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Sssp {
+    /// LID mask control (extra LIDs per node; SSSP itself uses them only for
+    /// additional balancing).
+    pub lmc: u8,
+}
+
+
+impl RoutingEngine for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
+        let lid_map = LidMap::new(topo, self.lmc, LidPolicy::Sequential);
+        let mut routes = Routes::new(topo, lid_map, "sssp");
+        fill_weighted_minimal(topo, &mut routes, 1)?;
+        Ok(routes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_paths, PathStats};
+    use hxtopo::fattree::FatTreeConfig;
+    use hxtopo::hyperx::HyperXConfig;
+
+    #[test]
+    fn sssp_routes_hyperx_minimally() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = Sssp::default().route(&t).unwrap();
+        let stats: PathStats = verify_paths(&t, &r).unwrap();
+        // 2-D HyperX: at most 2 ISL hops.
+        assert!(stats.max_isl_hops <= 2, "{stats:?}");
+        assert_eq!(stats.pairs, 32 * 31);
+    }
+
+    #[test]
+    fn sssp_routes_fattree() {
+        let t = FatTreeConfig::k_ary_n_tree(4, 2);
+        let r = Sssp::default().route(&t).unwrap();
+        let stats = verify_paths(&t, &r).unwrap();
+        // 2-level tree: at most 2 ISLs (up, down).
+        assert!(stats.max_isl_hops <= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn sssp_balances_vs_minhop() {
+        use super::super::MinHop;
+        // On a HyperX, SSSP must spread destination trees over more distinct
+        // cables than the unbalanced min-hop baseline.
+        let t = HyperXConfig::new(vec![4, 4], 4).build();
+        let sssp = Sssp::default().route(&t).unwrap();
+        let minhop = MinHop::default().route(&t).unwrap();
+        let spread = |r: &Routes| {
+            let mut used = std::collections::HashSet::new();
+            for src in t.nodes() {
+                for (lid, dst) in r.lid_map.lids() {
+                    if dst == src {
+                        continue;
+                    }
+                    for h in r.path(&t, src, lid).unwrap().hops {
+                        used.insert(h);
+                    }
+                }
+            }
+            used.len()
+        };
+        assert!(
+            spread(&sssp) >= spread(&minhop),
+            "sssp should use at least as many directed cables"
+        );
+    }
+
+    #[test]
+    fn sssp_survives_faults() {
+        use hxtopo::faults::FaultPlan;
+        let mut t = HyperXConfig::t2_hyperx(70).build();
+        FaultPlan::t2_hyperx().apply(&mut t);
+        let r = Sssp::default().route(&t).unwrap();
+        verify_paths(&t, &r).unwrap();
+    }
+
+    #[test]
+    fn sssp_with_lmc_provides_multiple_lids() {
+        let t = HyperXConfig::new(vec![3, 3], 1).build();
+        let r = Sssp { lmc: 2 }.route(&t).unwrap();
+        assert_eq!(r.lid_map.lids_per_node(), 4);
+        verify_paths(&t, &r).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! OpenSM-like subnet-manager orchestration.
+//!
+//! The paper's evaluation toolchain drives a patched OpenSM: a sweep
+//! discovers the fabric and computes routes with the selected engine; the
+//! SAR-style trigger re-routes with an ingested communication profile
+//! before a job starts (Section 4.4.3, the artifact's `OSM0TRIGGER`); and
+//! cable failures are handled fail-in-place (Domke et al. \[15\]): the cable
+//! is deactivated and the engine recomputes around it.
+
+use crate::demand::Demand;
+use crate::engines::{Parx, RoutingEngine};
+use crate::lft::{RouteError, Routes};
+use crate::verify::{verify_deadlock_free, verify_paths, PathStats};
+use hxtopo::{LinkId, Topology};
+
+/// Outcome of one subnet sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Path statistics of the new routing state.
+    pub paths: PathStats,
+    /// Virtual lanes in use.
+    pub vls: u8,
+    /// Sweep counter (increments per successful sweep).
+    pub epoch: u64,
+}
+
+/// A minimal subnet manager: owns the fabric view and the current routing
+/// state, re-sweeping on failures or demand changes.
+pub struct SubnetManager {
+    topo: Topology,
+    engine: Box<dyn RoutingEngine>,
+    routes: Option<Routes>,
+    epoch: u64,
+    /// Verify loop-freedom/deadlock-freedom on every sweep (the paper's
+    /// criteria (4); disable only for throughput experiments).
+    pub verify: bool,
+}
+
+impl SubnetManager {
+    /// Takes ownership of the fabric view with a routing engine.
+    pub fn new(topo: Topology, engine: Box<dyn RoutingEngine>) -> SubnetManager {
+        SubnetManager {
+            topo,
+            engine,
+            routes: None,
+            epoch: 0,
+            verify: true,
+        }
+    }
+
+    /// The managed fabric.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current routing state (after the first sweep).
+    pub fn routes(&self) -> Option<&Routes> {
+        self.routes.as_ref()
+    }
+
+    /// Discovers and routes the fabric (an OpenSM heavy sweep).
+    pub fn sweep(&mut self) -> Result<SweepReport, RouteError> {
+        let routes = self.engine.route(&self.topo)?;
+        let paths = if self.verify {
+            let p = verify_paths(&self.topo, &routes)?;
+            verify_deadlock_free(&self.topo, &routes)?;
+            p
+        } else {
+            verify_paths(&self.topo, &routes)?
+        };
+        self.epoch += 1;
+        let vls = routes.num_vls;
+        self.routes = Some(routes);
+        Ok(SweepReport {
+            paths,
+            vls,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Fail-in-place: deactivates a cable and re-sweeps around it. Returns
+    /// an error (and re-activates the cable) if the fabric would become
+    /// unroutable.
+    pub fn fail_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        self.topo.deactivate(l);
+        match self.sweep() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.topo.activate(l);
+                // Restore a consistent routing state.
+                self.sweep()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Repairs a cable and re-sweeps.
+    pub fn repair_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        self.topo.activate(l);
+        self.sweep()
+    }
+
+    /// The SAR/PARX trigger: re-route with a communication profile before a
+    /// job starts. Only meaningful when the engine is PARX; the demand is
+    /// wrapped into a fresh engine instance.
+    pub fn reroute_with_demand(&mut self, demand: Demand) -> Result<SweepReport, RouteError> {
+        self.engine = Box::new(Parx::with_demand(demand));
+        self.sweep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{Dfsssp, Sssp};
+    use hxtopo::hyperx::HyperXConfig;
+    use hxtopo::LinkClass;
+
+    fn hx() -> Topology {
+        HyperXConfig::new(vec![4, 4], 2).build()
+    }
+
+    #[test]
+    fn sweep_routes_and_verifies() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Dfsssp::default()));
+        assert!(sm.routes().is_none());
+        let r = sm.sweep().unwrap();
+        assert_eq!(r.epoch, 1);
+        assert!(r.vls <= 8);
+        assert_eq!(r.paths.pairs, 32 * 31);
+        assert!(sm.routes().is_some());
+    }
+
+    #[test]
+    fn fail_in_place_reroutes() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Dfsssp::default()));
+        sm.sweep().unwrap();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let r = sm.fail_link(isl).unwrap();
+        assert_eq!(r.epoch, 2);
+        assert!(!sm.topo().is_active(isl));
+        // All pairs still reachable around the dead cable.
+        assert_eq!(r.paths.pairs, 32 * 31);
+        let r = sm.repair_link(isl).unwrap();
+        assert_eq!(r.epoch, 3);
+        assert!(sm.topo().is_active(isl));
+    }
+
+    #[test]
+    fn catastrophic_failure_is_rolled_back() {
+        // 1-D HyperX of 2 switches: killing the only ISL disconnects it.
+        let topo = HyperXConfig::new(vec![2], 2).build();
+        let isl = topo
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let mut sm = SubnetManager::new(topo, Box::new(Sssp::default()));
+        sm.sweep().unwrap();
+        assert!(sm.fail_link(isl).is_err());
+        // Rolled back: cable active again and routing state restored.
+        assert!(sm.topo().is_active(isl));
+        assert!(sm.routes().is_some());
+    }
+
+    #[test]
+    fn demand_trigger_installs_parx() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Parx::default()));
+        sm.sweep().unwrap();
+        let mut d = Demand::new(32);
+        d.add(hxtopo::NodeId(0), hxtopo::NodeId(31), 1 << 24);
+        let r = sm.reroute_with_demand(d).unwrap();
+        assert_eq!(r.epoch, 2);
+        // PARX provides 4 LIDs per node.
+        assert_eq!(sm.routes().unwrap().lid_map.lids_per_node(), 4);
+    }
+
+    #[test]
+    fn screening_then_sweep_pipeline() {
+        // The paper's full bring-up: screen cables, disable the bad ones,
+        // route what's left.
+        use hxtopo::{CableHealth, CableScreening};
+        let mut topo = HyperXConfig::t2_hyperx(140).build();
+        let health = CableHealth::generate(&topo, 0.05, 13);
+        let screening = CableScreening::run(&mut topo, &health, 2.0, 10);
+        let mut sm = SubnetManager::new(topo, Box::new(Dfsssp::default()));
+        let r = sm.sweep().unwrap();
+        assert_eq!(r.paths.pairs, 140 * 139);
+        let _ = screening;
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based routing tests: for arbitrary HyperX shapes, fault
+//! patterns and engines, the paper's Section-3.2 criteria hold — every
+//! destination reachable, forwarding loop-free, and the VL layering
+//! deadlock-free.
+
+use hxroute::engines::{Dfsssp, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+use hxroute::{verify_deadlock_free, verify_paths, Demand};
+use hxtopo::faults::{FaultCount, FaultPlan};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::NodeId;
+use proptest::prelude::*;
+
+fn engines() -> Vec<Box<dyn RoutingEngine>> {
+    vec![
+        Box::new(MinHop::default()),
+        Box::new(Sssp::default()),
+        Box::new(Dfsssp::default()),
+        Box::new(UpDown::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every engine produces reachable, loop-free routes on arbitrary
+    /// (possibly faulted) HyperX topologies, and the deadlock-free engines
+    /// stay within the QDR hardware's 8 VLs.
+    #[test]
+    fn engines_route_arbitrary_hyperx(
+        s1 in 2u32..6,
+        s2 in 2u32..5,
+        t in 1u32..3,
+        faults in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut topo = HyperXConfig::new(vec![s1, s2], t).build();
+        FaultPlan { count: FaultCount::Absolute(faults), class: None, seed }
+            .apply(&mut topo);
+        for engine in engines() {
+            let routes = engine.route(&topo).unwrap();
+            let stats = verify_paths(&topo, &routes).unwrap();
+            prop_assert_eq!(
+                stats.pairs,
+                topo.num_nodes() * (topo.num_nodes() - 1),
+                "{} missed pairs", engine.name()
+            );
+            if engine.name() == "dfsssp" || engine.name() == "updown" {
+                let vls = verify_deadlock_free(&topo, &routes).unwrap();
+                prop_assert!(vls <= 8, "{}: {} VLs", engine.name(), vls);
+            }
+        }
+    }
+
+    /// PARX on any even 2-D HyperX: all four virtual LIDs reachable from
+    /// everywhere, deadlock-free, and paths never absurdly long (at most
+    /// diameter + 2 detour hops).
+    #[test]
+    fn parx_criteria_on_even_grids(
+        half1 in 1u32..4,
+        half2 in 1u32..3,
+        t in 1u32..3,
+        faults in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let (s1, s2) = (2 * half1, 2 * half2);
+        prop_assume!(s1 >= 2 && s2 >= 2);
+        let mut topo = HyperXConfig::new(vec![s1, s2], t).build();
+        FaultPlan { count: FaultCount::Absolute(faults), class: None, seed }
+            .apply(&mut topo);
+        let routes = Parx::default().route(&topo).unwrap();
+        let stats = verify_paths(&topo, &routes).unwrap();
+        prop_assert_eq!(stats.pairs, topo.num_nodes() * (topo.num_nodes() - 1) * 4);
+        prop_assert!(stats.max_isl_hops <= 2 + 2 + faults, "max {}", stats.max_isl_hops);
+        let vls = verify_deadlock_free(&topo, &routes).unwrap();
+        prop_assert!(vls <= 8);
+    }
+
+    /// Demand ingestion never breaks PARX's correctness criteria, for any
+    /// random demand matrix.
+    #[test]
+    fn parx_demand_preserves_criteria(
+        pairs in proptest::collection::vec((0u32..32, 0u32..32, 1u64..1_000_000), 0..20),
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let mut demand = Demand::new(topo.num_nodes());
+        for (a, b, bytes) in pairs {
+            if a != b {
+                demand.add(NodeId(a), NodeId(b), bytes);
+            }
+        }
+        let routes = Parx::with_demand(demand).route(&topo).unwrap();
+        verify_paths(&topo, &routes).unwrap();
+        verify_deadlock_free(&topo, &routes).unwrap();
+    }
+
+    /// Engines are pure functions of the topology: same input, same routes.
+    #[test]
+    fn routing_is_deterministic(s1 in 2u32..5, s2 in 2u32..4) {
+        let topo = HyperXConfig::new(vec![s1, s2], 2).build();
+        for engine in engines() {
+            let a = engine.route(&topo).unwrap();
+            let b = engine.route(&topo).unwrap();
+            for src in topo.nodes() {
+                for (lid, owner) in a.lid_map.lids() {
+                    if owner == src { continue; }
+                    prop_assert_eq!(
+                        a.path(&topo, src, lid).unwrap().hops,
+                        b.path(&topo, src, lid).unwrap().hops
+                    );
+                }
+            }
+        }
+    }
+
+    /// SSSP's balancing never lengthens paths beyond hop-minimal: the
+    /// lexicographic cost keeps routes minimal whatever the weights.
+    #[test]
+    fn sssp_stays_hop_minimal(s1 in 2u32..6, s2 in 2u32..5, t in 1u32..3) {
+        let topo = HyperXConfig::new(vec![s1, s2], t).build();
+        let routes = Sssp::default().route(&topo).unwrap();
+        for src in topo.nodes() {
+            let (ssw, _) = topo.node_switch(src);
+            let dist = hxtopo::props::bfs_dist(&topo, ssw);
+            for (lid, dst) in routes.lid_map.lids() {
+                if dst == src { continue; }
+                let (dsw, _) = topo.node_switch(dst);
+                let p = routes.path(&topo, src, lid).unwrap();
+                prop_assert_eq!(p.isl_hops(), dist[dsw.idx()]);
+            }
+        }
+    }
+}

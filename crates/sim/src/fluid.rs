@@ -1,0 +1,320 @@
+//! Event-driven fluid transfers: active flows progress at their max-min fair
+//! rates; rates are re-solved whenever a flow is added or removed.
+
+use crate::flow::{directed_capacities, max_min_rates};
+use hxroute::DirLink;
+use hxtopo::Topology;
+
+/// Handle to an active flow.
+pub type FlowId = usize;
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    path: Vec<DirLink>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// The fluid network: capacities plus the set of in-flight flows.
+#[derive(Debug, Clone)]
+pub struct FluidNet {
+    caps: Vec<f64>,
+    flows: Vec<Option<ActiveFlow>>,
+    free: Vec<FlowId>,
+    active: usize,
+    now: f64,
+    /// Cumulative bytes carried per directed cable (traffic statistics).
+    pub carried: Vec<f64>,
+}
+
+/// A flow is considered drained below this many bytes.
+const EPS_BYTES: f64 = 1e-6;
+
+impl FluidNet {
+    /// Fluid network over a topology's active cables.
+    pub fn new(topo: &Topology) -> FluidNet {
+        let caps = directed_capacities(topo);
+        let n = caps.len();
+        FluidNet {
+            caps,
+            flows: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            now: 0.0,
+            carried: vec![0.0; n],
+        }
+    }
+
+    /// Current simulation time of the fluid state.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Advances all flows to absolute time `t` (must be >= now).
+    pub fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
+        for f in self.flows.iter_mut().flatten() {
+            if f.rate.is_infinite() {
+                // Loopback flows never touch a cable.
+                f.remaining = 0.0;
+            } else if dt > 0.0 && f.rate > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                for dl in &f.path {
+                    self.carried[dl.index()] += moved;
+                }
+            }
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Adds a flow starting now; caller must [`FluidNet::recompute`] before
+    /// querying completions.
+    pub fn add_flow(&mut self, path: Vec<DirLink>, bytes: u64) -> FlowId {
+        let f = ActiveFlow {
+            path,
+            remaining: bytes as f64,
+            rate: 0.0,
+        };
+        self.active += 1;
+        if let Some(id) = self.free.pop() {
+            self.flows[id] = Some(f);
+            id
+        } else {
+            self.flows.push(Some(f));
+            self.flows.len() - 1
+        }
+    }
+
+    /// Removes a flow (normally after completion).
+    pub fn remove(&mut self, id: FlowId) {
+        if self.flows[id].take().is_some() {
+            self.active -= 1;
+            self.free.push(id);
+        }
+    }
+
+    /// Re-solves the max-min fair rates for the current flow set.
+    pub fn recompute(&mut self) {
+        if self.active == 0 {
+            return;
+        }
+        let idx: Vec<FlowId> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i))
+            .collect();
+        let paths: Vec<&[DirLink]> = idx
+            .iter()
+            .map(|&i| self.flows[i].as_ref().unwrap().path.as_slice())
+            .collect();
+        let rates = max_min_rates(&self.caps, &paths);
+        for (&i, r) in idx.iter().zip(rates) {
+            self.flows[i].as_mut().unwrap().rate = r;
+        }
+    }
+
+    /// Absolute time of the next flow completion, if any flow is active.
+    pub fn next_completion(&self) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for f in self.flows.iter().flatten() {
+            let t = if f.remaining <= EPS_BYTES {
+                0.0
+            } else if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else {
+                f64::INFINITY
+            };
+            best = best.min(t);
+        }
+        best.is_finite().then_some(self.now + best)
+    }
+
+    /// Flows fully drained at the current time.
+    pub fn drained(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.as_ref()
+                    .filter(|f| f.remaining <= EPS_BYTES)
+                    .map(|_| i)
+            })
+            .collect()
+    }
+
+    /// Convenience: runs a set of simultaneously-starting flows to
+    /// completion, returning each flow's finish time.
+    pub fn complete_times(topo: &Topology, specs: &[crate::flow::FlowSpec]) -> Vec<f64> {
+        let mut net = FluidNet::new(topo);
+        let ids: Vec<FlowId> = specs
+            .iter()
+            .map(|s| net.add_flow(s.path.clone(), s.bytes))
+            .collect();
+        let mut finish = vec![0.0f64; specs.len()];
+        net.recompute();
+        while net.active_flows() > 0 {
+            let t = net
+                .next_completion()
+                .expect("active flows must complete");
+            net.advance_to(t);
+            for id in net.drained() {
+                let pos = ids.iter().position(|&x| x == id).unwrap();
+                finish[pos] = t;
+                net.remove(id);
+            }
+            net.recompute();
+        }
+        finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use hxtopo::{LinkClass, NodeId, SwitchId, TopologyBuilder};
+
+    fn dumbbell(n: u32) -> (Topology, DirLink) {
+        let mut b = TopologyBuilder::new("dumbbell", 2);
+        for i in 0..2 * n {
+            b.attach_node(SwitchId(i / n));
+        }
+        let isl = b.link_switches(SwitchId(0), SwitchId(1), LinkClass::Aoc);
+        (b.build(), DirLink::new(isl, true))
+    }
+
+    #[test]
+    fn single_flow_finishes_at_bytes_over_cap() {
+        let (t, isl) = dumbbell(1);
+        let cap = t.link(isl.link()).capacity;
+        let bytes = 1u64 << 30;
+        let f = FluidNet::complete_times(
+            &t,
+            &[FlowSpec {
+                path: vec![isl],
+                bytes,
+            }],
+        );
+        let expect = bytes as f64 / cap;
+        assert!((f[0] - expect).abs() < expect * 1e-9);
+    }
+
+    #[test]
+    fn staggered_completion_speeds_up_survivor() {
+        // Two flows share a cable; one carries half the bytes. It finishes
+        // at t1 = (b/2)/(c/2) = b/c; the big one then runs alone:
+        // remaining b - (c/2)*t1 = b/2 at rate c => total 1.5 b/c.
+        let (t, isl) = dumbbell(2);
+        let cap = t.link(isl.link()).capacity;
+        let b = 1u64 << 30;
+        let f = FluidNet::complete_times(
+            &t,
+            &[
+                FlowSpec {
+                    path: vec![isl],
+                    bytes: b,
+                },
+                FlowSpec {
+                    path: vec![isl],
+                    bytes: b / 2,
+                },
+            ],
+        );
+        let unit = b as f64 / cap;
+        assert!((f[1] - unit).abs() < unit * 1e-6, "{f:?}");
+        assert!((f[0] - 1.5 * unit).abs() < unit * 1e-6, "{f:?}");
+    }
+
+    #[test]
+    fn seven_way_sharing_is_seven_times_slower() {
+        let (t, isl) = dumbbell(7);
+        let cap = t.link(isl.link()).capacity;
+        let b = 1u64 << 20;
+        let specs: Vec<FlowSpec> = (0..7)
+            .map(|_| FlowSpec {
+                path: vec![isl],
+                bytes: b,
+            })
+            .collect();
+        let f = FluidNet::complete_times(&t, &specs);
+        let expect = 7.0 * b as f64 / cap;
+        for x in f {
+            assert!((x - expect).abs() < expect * 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_byte_flows_complete_immediately() {
+        let (t, isl) = dumbbell(1);
+        let f = FluidNet::complete_times(
+            &t,
+            &[FlowSpec {
+                path: vec![isl],
+                bytes: 0,
+            }],
+        );
+        assert_eq!(f[0], 0.0);
+    }
+
+    #[test]
+    fn carried_bytes_accounted() {
+        let (t, isl) = dumbbell(1);
+        let mut net = FluidNet::new(&t);
+        let id = net.add_flow(vec![isl], 1000);
+        net.recompute();
+        let tc = net.next_completion().unwrap();
+        net.advance_to(tc);
+        assert!((net.carried[isl.index()] - 1000.0).abs() < 1e-3);
+        net.remove(id);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn empty_path_flow_is_instant() {
+        let (t, _) = dumbbell(1);
+        let mut net = FluidNet::new(&t);
+        net.add_flow(vec![], 1 << 20);
+        net.recompute();
+        let tc = net.next_completion().unwrap();
+        assert_eq!(tc, 0.0);
+        net.advance_to(tc);
+        assert_eq!(net.drained().len(), 1);
+    }
+
+    #[test]
+    fn node_link_limits_injection() {
+        // One sender to two receivers: both flows share the sender's
+        // terminal cable -> each gets cap/2.
+        let (t, isl) = dumbbell(2);
+        let term = DirLink::leaving(
+            &t,
+            t.node_switch(NodeId(0)).1,
+            hxtopo::Endpoint::Node(NodeId(0)),
+        );
+        let b = 1u64 << 20;
+        let specs = vec![
+            FlowSpec {
+                path: vec![term, isl],
+                bytes: b,
+            },
+            FlowSpec {
+                path: vec![term],
+                bytes: b,
+            },
+        ];
+        let f = FluidNet::complete_times(&t, &specs);
+        let cap = t.link(term.link()).capacity;
+        let expect = 2.0 * b as f64 / cap;
+        for x in f {
+            assert!((x - expect).abs() < expect * 1e-6);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Seeded run-to-run variability.
+//!
+//! The paper executes every configuration ten times and reports whisker
+//! statistics because system noise, caching effects and replaced nodes
+//! perturb each run (Sections 4.4.1, 5.2, AE appendix). We reproduce this
+//! with a deterministic noise model: a small multiplicative jitter on every
+//! measured runtime, plus rare larger "OS noise" spikes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Multiplicative noise model applied to simulated runtimes.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Relative standard deviation of the per-run jitter (e.g. 0.02 = 2%).
+    pub sigma: f64,
+    /// Probability of an outlier run.
+    pub spike_prob: f64,
+    /// Outlier magnitude (multiplier upper bound, e.g. 1.5).
+    pub spike_max: f64,
+    /// Base seed; combined with the run index.
+    pub seed: u64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            sigma: 0.015,
+            spike_prob: 0.05,
+            spike_max: 1.35,
+            seed: 0x4e01_5e00,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// No noise at all (deterministic runs).
+    pub fn none() -> NoiseModel {
+        NoiseModel {
+            sigma: 0.0,
+            spike_prob: 0.0,
+            spike_max: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// The multiplier (>= ~1.0) for run `rep` of the experiment identified
+    /// by `tag` (combine benchmark/scale/combo into the tag).
+    pub fn multiplier(&self, tag: u64, rep: u32) -> f64 {
+        if self.sigma == 0.0 && self.spike_prob == 0.0 {
+            return 1.0;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ rep as u64,
+        );
+        // One-sided jitter: runs can only be slowed down relative to the
+        // noiseless ideal (the paper's t_min captures the clean run).
+        let jitter = 1.0 + self.sigma * rng.gen::<f64>().abs() * 2.0;
+        let spike = if rng.gen::<f64>() < self.spike_prob {
+            1.0 + rng.gen::<f64>() * (self.spike_max - 1.0)
+        } else {
+            1.0
+        };
+        jitter * spike
+    }
+
+    /// Applies noise to a measured time.
+    pub fn apply(&self, time: f64, tag: u64, rep: u32) -> f64 {
+        time * self.multiplier(tag, rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let n = NoiseModel::none();
+        assert_eq!(n.multiplier(1, 2), 1.0);
+        assert_eq!(n.apply(3.5, 9, 9), 3.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = NoiseModel::default();
+        assert_eq!(n.multiplier(42, 3), n.multiplier(42, 3));
+        assert_ne!(n.multiplier(42, 3), n.multiplier(42, 4));
+        assert_ne!(n.multiplier(42, 3), n.multiplier(43, 3));
+    }
+
+    #[test]
+    fn noise_only_slows_down() {
+        let n = NoiseModel::default();
+        for rep in 0..100 {
+            let m = n.multiplier(7, rep);
+            assert!((1.0..2.0).contains(&m), "{m}");
+        }
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let n = NoiseModel {
+            sigma: 0.0,
+            spike_prob: 0.3,
+            spike_max: 2.0,
+            seed: 1,
+        };
+        let spikes = (0..1000)
+            .filter(|&rep| n.multiplier(1, rep) > 1.001)
+            .count();
+        assert!((200..400).contains(&spikes), "{spikes}");
+    }
+}

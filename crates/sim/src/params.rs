@@ -1,0 +1,90 @@
+//! Latency and overhead constants calibrated to the paper's QDR InfiniBand
+//! generation (Voltaire 4036 / Grid Director switches, Westmere hosts,
+//! Open MPI 1.10 with the ob1 PML).
+//!
+//! Calibration anchors:
+//! * same-switch MPI ping-pong half-round-trip ~1.4 µs,
+//! * per-switch port-to-port latency ~150 ns,
+//! * observable per-direction QDR bandwidth ~3.4 GB/s (the ~3 GiB/s ceiling
+//!   of the paper's Figure 1),
+//! * the bfo PML's per-message software penalty sized so a 7-node Barrier
+//!   degrades ~3x (paper Figure 5b discussion: bfo is "less tuned" than
+//!   ob1, slowing Barrier 2.8x–6.9x).
+
+/// Network timing parameters (seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// Port-to-port switch traversal latency.
+    pub t_switch: f64,
+    /// Cable propagation delay per hop.
+    pub t_cable: f64,
+    /// Sender-side software overhead per message (ob1 baseline).
+    pub o_send: f64,
+    /// Receiver-side software overhead per message.
+    pub o_recv: f64,
+    /// Extra per-message software overhead of the bfo multi-path PML.
+    pub bfo_extra: f64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams::qdr()
+    }
+}
+
+impl NetParams {
+    /// QDR-generation defaults (see module docs).
+    pub const fn qdr() -> NetParams {
+        NetParams {
+            t_switch: 150e-9,
+            t_cable: 25e-9,
+            o_send: 0.6e-6,
+            o_recv: 0.6e-6,
+            bfo_extra: 2.4e-6,
+        }
+    }
+
+    /// Pure wire+switch latency of a path with the given switch hop count
+    /// and cable count (software overheads excluded).
+    #[inline]
+    pub fn wire_latency(&self, switch_hops: usize, cables: usize) -> f64 {
+        self.t_switch * switch_hops as f64 + self.t_cable * cables as f64
+    }
+
+    /// End-to-end zero-byte latency over a path (ob1).
+    #[inline]
+    pub fn base_latency(&self, switch_hops: usize, cables: usize) -> f64 {
+        self.o_send + self.o_recv + self.wire_latency(switch_hops, cables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_switch_latency_matches_qdr() {
+        let p = NetParams::qdr();
+        // One switch, two terminal cables.
+        let lat = p.base_latency(1, 2);
+        assert!((1.0e-6..2.0e-6).contains(&lat), "{lat}");
+    }
+
+    #[test]
+    fn hyperx_beats_fattree_on_wire_latency() {
+        let p = NetParams::qdr();
+        // HyperX worst case: 3 switches, 4 cables; Fat-Tree worst: 5
+        // switches, 6 cables.
+        assert!(p.base_latency(3, 4) < p.base_latency(5, 6));
+    }
+
+    #[test]
+    fn bfo_penalty_is_significant() {
+        let p = NetParams::qdr();
+        let ob1 = p.base_latency(1, 2);
+        let bfo = ob1 + p.bfo_extra;
+        let ratio = bfo / ob1;
+        // Paper: Barrier slows 2.8x-6.9x when switching ob1 -> bfo.
+        assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Whisker statistics (min / 25th / median / 75th / max), matching the
+//! paper's plot format for the ten runs per configuration, plus the
+//! relative-gain metric of Figures 4–6.
+
+/// Five-number summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Whisker {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Whisker {
+    /// Summarizes samples (need not be sorted; must be non-empty).
+    pub fn of(samples: &[f64]) -> Whisker {
+        assert!(!samples.is_empty(), "whisker of empty sample set");
+        let mut s = samples.to_vec();
+        s.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let h = p * (s.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                s[lo]
+            } else {
+                s[lo] + (h - lo as f64) * (s[hi] - s[lo])
+            }
+        };
+        Whisker {
+            min: s[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *s.last().unwrap(),
+            n: s.len(),
+        }
+    }
+}
+
+/// Traffic distribution over the inter-switch cables, built from a
+/// per-directed-link byte accounting (the paper's Section 3.2.3 goal:
+/// "reduces the dark fiber, and high-traffic paths are separated as much
+/// as possible").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Inter-switch cable directions carrying any traffic.
+    pub lit: usize,
+    /// Inter-switch cable directions carrying none ("dark fiber").
+    pub dark: usize,
+    /// Heaviest per-direction byte count.
+    pub max_bytes: f64,
+    /// Mean byte count over the lit directions.
+    pub mean_lit_bytes: f64,
+}
+
+impl LinkUsage {
+    /// Summarizes a per-directed-link byte vector (indexed like
+    /// `hxroute::DirLink::index`), considering only active inter-switch
+    /// cables of `topo`.
+    pub fn of(topo: &hxtopo::Topology, bytes: &[f64]) -> LinkUsage {
+        let mut lit = 0usize;
+        let mut dark = 0usize;
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for (id, l) in topo.links() {
+            if !l.active || l.class == hxtopo::LinkClass::Terminal {
+                continue;
+            }
+            for dir in [0usize, 1] {
+                let b = bytes[id.idx() * 2 + dir];
+                if b > 0.0 {
+                    lit += 1;
+                    sum += b;
+                    max = max.max(b);
+                } else {
+                    dark += 1;
+                }
+            }
+        }
+        LinkUsage {
+            lit,
+            dark,
+            max_bytes: max,
+            mean_lit_bytes: if lit > 0 { sum / lit as f64 } else { 0.0 },
+        }
+    }
+
+    /// Load imbalance: heaviest direction over the lit mean (1.0 = perfectly
+    /// even).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_lit_bytes > 0.0 {
+            self.max_bytes / self.mean_lit_bytes
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The paper's relative performance gain against a baseline (Hoefler &
+/// Belli style, cf. Figure 4): for lower-is-better metrics (latency,
+/// runtime), `gain = base/new - 1`; a gain of -0.65 therefore means the new
+/// configuration is 1/0.35 ~ 2.9x slower, +1.0 means twice as fast.
+pub fn relative_gain_lower_better(base: f64, new: f64) -> f64 {
+    if new == 0.0 {
+        return f64::INFINITY;
+    }
+    base / new - 1.0
+}
+
+/// Relative gain for higher-is-better metrics (throughput, Gflop/s, TEPS):
+/// `gain = new/base - 1`.
+pub fn relative_gain_higher_better(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return f64::INFINITY;
+    }
+    new / base - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whisker_of_known_set() {
+        let w = Whisker::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.median, 3.0);
+        assert_eq!(w.max, 5.0);
+        assert_eq!(w.q1, 2.0);
+        assert_eq!(w.q3, 4.0);
+        assert_eq!(w.n, 5);
+    }
+
+    #[test]
+    fn whisker_single_sample() {
+        let w = Whisker::of(&[7.0]);
+        assert_eq!(w.min, 7.0);
+        assert_eq!(w.median, 7.0);
+        assert_eq!(w.max, 7.0);
+    }
+
+    #[test]
+    fn whisker_interpolates_quartiles() {
+        let w = Whisker::of(&[0.0, 1.0, 2.0, 3.0]);
+        assert!((w.q1 - 0.75).abs() < 1e-12);
+        assert!((w.median - 1.5).abs() < 1e-12);
+        assert!((w.q3 - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn whisker_rejects_empty() {
+        Whisker::of(&[]);
+    }
+
+    #[test]
+    fn link_usage_counts_dark_fiber() {
+        use hxtopo::hyperx::HyperXConfig;
+        let t = HyperXConfig::new(vec![3], 1).build(); // K3: 3 ISLs
+        let mut bytes = vec![0.0f64; t.num_links() * 2];
+        // Light one direction of the first ISL.
+        let isl = t
+            .links()
+            .find(|(_, l)| l.class != hxtopo::LinkClass::Terminal)
+            .unwrap()
+            .0;
+        bytes[isl.idx() * 2] = 100.0;
+        let u = super::LinkUsage::of(&t, &bytes);
+        assert_eq!(u.lit, 1);
+        assert_eq!(u.dark, 5); // 3 ISLs x 2 dirs - 1
+        assert_eq!(u.max_bytes, 100.0);
+        assert_eq!(u.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_hotspots() {
+        use hxtopo::hyperx::HyperXConfig;
+        let t = HyperXConfig::new(vec![3], 1).build();
+        let mut bytes = vec![0.0f64; t.num_links() * 2];
+        let isls: Vec<_> = t
+            .links()
+            .filter(|(_, l)| l.class != hxtopo::LinkClass::Terminal)
+            .map(|(id, _)| id)
+            .collect();
+        bytes[isls[0].idx() * 2] = 300.0;
+        bytes[isls[1].idx() * 2] = 100.0;
+        bytes[isls[2].idx() * 2] = 100.0;
+        let u = super::LinkUsage::of(&t, &bytes);
+        assert_eq!(u.lit, 3);
+        assert!((u.imbalance() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_matches_paper_semantics() {
+        // Paper Fig 5b: PARX gain -0.65 => ~2.9x slower Barrier.
+        let g = relative_gain_lower_better(10.0, 28.6);
+        assert!((g - (-0.65)).abs() < 0.01, "{g}");
+        // Equal performance => 0.
+        assert_eq!(relative_gain_lower_better(5.0, 5.0), 0.0);
+        // Twice as fast => +1.
+        assert_eq!(relative_gain_lower_better(10.0, 5.0), 1.0);
+        // Higher-better: +46% HPL.
+        let g = relative_gain_higher_better(100.0, 146.0);
+        assert!((g - 0.46).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the flow solver and fluid network: max-min
+//! fairness invariants hold for arbitrary flow sets.
+
+use hxroute::DirLink;
+use hxsim::flow::{directed_capacities, max_min_rates, FlowSpec};
+use hxsim::{FluidNet, Whisker};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{Endpoint, NodeId, Topology};
+use proptest::prelude::*;
+
+/// Builds a small HyperX plus a set of single-ISL-hop flows between random
+/// node pairs on adjacent switches.
+fn random_paths(topo: &Topology, pairs: &[(u32, u32)]) -> Vec<Vec<DirLink>> {
+    let n = topo.num_nodes() as u32;
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let (src, dst) = (NodeId(a % n), NodeId(b % n));
+            if src == dst {
+                return Vec::new();
+            }
+            let (ssw, sl) = topo.node_switch(src);
+            let (dsw, dl) = topo.node_switch(dst);
+            let mut hops = vec![DirLink::leaving(topo, sl, Endpoint::Node(src))];
+            if ssw != dsw {
+                // Find a direct cable (HyperX diameter-2: may need a relay).
+                if let Some((_, link)) =
+                    topo.active_switch_neighbors(ssw).find(|&(p, _)| p == dsw)
+                {
+                    hops.push(DirLink::leaving(topo, link, Endpoint::Switch(ssw)));
+                } else {
+                    // Route through the first common neighbor.
+                    let mid = topo
+                        .active_switch_neighbors(ssw)
+                        .find(|&(p, _)| {
+                            topo.active_switch_neighbors(p).any(|(q, _)| q == dsw)
+                        })
+                        .expect("diameter 2");
+                    hops.push(DirLink::leaving(topo, mid.1, Endpoint::Switch(ssw)));
+                    let relay = mid.0;
+                    let (_, link2) = topo
+                        .active_switch_neighbors(relay)
+                        .find(|&(q, _)| q == dsw)
+                        .unwrap();
+                    hops.push(DirLink::leaving(topo, link2, Endpoint::Switch(relay)));
+                }
+            }
+            hops.push(DirLink::leaving(topo, dl, Endpoint::Switch(dsw)));
+            hops
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Max-min fairness invariants: (1) no directed cable over capacity;
+    /// (2) every flow is bottlenecked — some cable on its path is
+    /// saturated (otherwise its rate could grow, contradicting max-min).
+    #[test]
+    fn max_min_invariants(
+        pairs in proptest::collection::vec((0u32..32, 0u32..32), 1..40),
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let paths = random_paths(&topo, &pairs);
+        let caps = directed_capacities(&topo);
+        let refs: Vec<&[DirLink]> = paths.iter().map(|p| p.as_slice()).collect();
+        let rates = max_min_rates(&caps, &refs);
+
+        let mut used = vec![0.0f64; caps.len()];
+        for (p, &r) in paths.iter().zip(&rates) {
+            if r.is_finite() {
+                for dl in p {
+                    used[dl.index()] += r;
+                }
+            }
+        }
+        for (i, &u) in used.iter().enumerate() {
+            prop_assert!(u <= caps[i] * (1.0 + 1e-6), "cable {i} oversubscribed");
+        }
+        for (p, &r) in paths.iter().zip(&rates) {
+            if p.is_empty() {
+                prop_assert!(r.is_infinite());
+                continue;
+            }
+            prop_assert!(r > 0.0);
+            let bottlenecked = p
+                .iter()
+                .any(|dl| used[dl.index()] >= caps[dl.index()] * (1.0 - 1e-6));
+            prop_assert!(bottlenecked, "flow with rate {r} is not bottlenecked");
+        }
+    }
+
+    /// Fluid completion conserves bytes: the total carried on each flow's
+    /// first cable equals the payload.
+    #[test]
+    fn fluid_conserves_bytes(
+        pairs in proptest::collection::vec((0u32..32, 0u32..32), 1..12),
+        kib in 1u64..512,
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let paths: Vec<_> = random_paths(&topo, &pairs)
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect();
+        prop_assume!(!paths.is_empty());
+        let bytes = kib * 1024;
+        let specs: Vec<FlowSpec> = paths
+            .iter()
+            .map(|p| FlowSpec { path: p.clone(), bytes })
+            .collect();
+        let times = FluidNet::complete_times(&topo, &specs);
+        let cap = 3.4e9;
+        for (p, &t) in paths.iter().zip(&times) {
+            // Single flow alone would take bytes/cap; sharing only slows it.
+            prop_assert!(t >= bytes as f64 / cap * 0.999, "{t}");
+            // And never slower than full serialization of all flows.
+            prop_assert!(t <= specs.len() as f64 * bytes as f64 / cap + 1e-9);
+            let _ = p;
+        }
+    }
+
+    /// Whisker summaries are order statistics: min <= q1 <= med <= q3 <= max,
+    /// and all lie within the sample range.
+    #[test]
+    fn whisker_is_ordered(samples in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let w = Whisker::of(&samples);
+        prop_assert!(w.min <= w.q1 && w.q1 <= w.median);
+        prop_assert!(w.median <= w.q3 && w.q3 <= w.max);
+        let lo = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(w.min, lo);
+        prop_assert_eq!(w.max, hi);
+        prop_assert_eq!(w.n, samples.len());
+    }
+
+    /// Noise multipliers are deterministic per (tag, rep) and one-sided.
+    #[test]
+    fn noise_bounds(tag in 0u64..u64::MAX, rep in 0u32..1000) {
+        let n = hxsim::NoiseModel::default();
+        let m = n.multiplier(tag, rep);
+        prop_assert!((1.0..=2.0).contains(&m), "{m}");
+        prop_assert_eq!(m, n.multiplier(tag, rep));
+    }
+}

@@ -1,0 +1,139 @@
+//! Network cost model — the paper's economic motivation (Sections 1–2):
+//! Fat-Trees "carry a prohibitive cost-structure at scale" because the
+//! indirect levels force thousands of active optical cables, while a
+//! HyperX "can fit to any physical packaging scheme", turning much of the
+//! wiring into rack-internal copper, and a half-bisection HyperX still
+//! serves uniform traffic at full throughput.
+
+use crate::graph::{LinkClass, Topology};
+
+/// Unit prices (arbitrary currency; defaults reflect the QDR-era ratio of
+/// roughly 1 : 3.5 : 10 for copper : AOC : switch).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Price of one passive copper cable.
+    pub copper: f64,
+    /// Price of one active optical cable.
+    pub aoc: f64,
+    /// Price of one switch.
+    pub switch: f64,
+    /// Price of one HCA/terminal cable (same per node on every plane).
+    pub terminal: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            copper: 40.0,
+            aoc: 140.0,
+            switch: 400.0,
+            terminal: 40.0,
+        }
+    }
+}
+
+/// Bill of materials of a topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BillOfMaterials {
+    /// Switch count.
+    pub switches: usize,
+    /// Rack-internal copper cables.
+    pub copper: usize,
+    /// Active optical cables.
+    pub aoc: usize,
+    /// Terminal (node) cables.
+    pub terminal: usize,
+}
+
+impl BillOfMaterials {
+    /// Counts a topology's components (inactive cables still count — they
+    /// were bought).
+    pub fn of(topo: &Topology) -> BillOfMaterials {
+        let mut b = BillOfMaterials {
+            switches: topo.num_switches(),
+            copper: 0,
+            aoc: 0,
+            terminal: 0,
+        };
+        for (_, l) in topo.links() {
+            match l.class {
+                LinkClass::Copper => b.copper += 1,
+                LinkClass::Aoc => b.aoc += 1,
+                LinkClass::Terminal => b.terminal += 1,
+            }
+        }
+        b
+    }
+
+    /// Total price under a cost model.
+    pub fn price(&self, m: &CostModel) -> f64 {
+        self.switches as f64 * m.switch
+            + self.copper as f64 * m.copper
+            + self.aoc as f64 * m.aoc
+            + self.terminal as f64 * m.terminal
+    }
+
+    /// Price per terminal node.
+    pub fn price_per_node(&self, m: &CostModel) -> f64 {
+        self.price(m) / self.terminal.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeConfig;
+    use crate::hyperx::HyperXConfig;
+
+    #[test]
+    fn bom_counts_classes() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let b = BillOfMaterials::of(&t);
+        assert_eq!(b.switches, 96);
+        assert_eq!(b.copper, 96); // 24 racks x 4 intra-block cables
+        assert_eq!(b.aoc, 768);
+        assert_eq!(b.terminal, 672);
+    }
+
+    #[test]
+    fn hyperx_is_cheaper_than_fattree() {
+        // The paper's Section 2 argument: the HyperX plane buys fewer
+        // switches and far fewer AOCs for the same node count.
+        let m = CostModel::default();
+        let hx = BillOfMaterials::of(&HyperXConfig::t2_hyperx(672).build());
+        let ft = BillOfMaterials::of(&FatTreeConfig::tsubame2(672));
+        assert!(ft.aoc > hx.aoc, "FT {} vs HX {} AOCs", ft.aoc, hx.aoc);
+        assert!(
+            hx.price(&m) < ft.price(&m),
+            "HyperX {} should undercut Fat-Tree {}",
+            hx.price(&m),
+            ft.price(&m)
+        );
+        // And meaningfully so: the paper claims a drastic reduction.
+        assert!(hx.price(&m) < ft.price(&m) * 0.85);
+    }
+
+    #[test]
+    fn price_scales_linearly() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let b = BillOfMaterials::of(&t);
+        let m = CostModel::default();
+        let double = CostModel {
+            copper: 2.0 * m.copper,
+            aoc: 2.0 * m.aoc,
+            switch: 2.0 * m.switch,
+            terminal: 2.0 * m.terminal,
+        };
+        assert!((b.price(&double) - 2.0 * b.price(&m)).abs() < 1e-9);
+        assert!(b.price_per_node(&m) > 0.0);
+    }
+
+    #[test]
+    fn faulted_cables_still_cost() {
+        use crate::faults::FaultPlan;
+        let mut t = HyperXConfig::t2_hyperx(672).build();
+        let before = BillOfMaterials::of(&t);
+        FaultPlan::t2_hyperx().apply(&mut t);
+        assert_eq!(BillOfMaterials::of(&t), before);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dragonfly generator (Kim, Dally, Scott, Abts, ISCA'08) — the dominant
+//! deployed low-diameter alternative the paper positions the HyperX
+//! against (Section 1 and 6: Cray Aries, PERCS, Dragonfly+).
+//!
+//! The balanced canonical form `dfly(p, a, h)`: groups of `a` switches,
+//! fully connected within the group; each switch hosts `p` terminals and
+//! `h` global cables; `g = a*h + 1` groups with exactly one global cable
+//! between every group pair.
+
+use crate::graph::{LinkClass, Topology, TopologyBuilder};
+use crate::ids::SwitchId;
+use crate::TopoMeta;
+
+/// Dragonfly configuration.
+#[derive(Debug, Clone)]
+pub struct DragonflyConfig {
+    /// Terminals per switch.
+    pub p: u32,
+    /// Switches per group.
+    pub a: u32,
+    /// Global cables per switch.
+    pub h: u32,
+}
+
+impl DragonflyConfig {
+    /// The balanced recommendation `a = 2p = 2h`.
+    pub fn balanced(h: u32) -> DragonflyConfig {
+        DragonflyConfig { p: h, a: 2 * h, h }
+    }
+
+    /// Number of groups (`a*h + 1`).
+    pub fn groups(&self) -> u32 {
+        self.a * self.h + 1
+    }
+
+    /// Total switches.
+    pub fn num_switches(&self) -> usize {
+        (self.groups() * self.a) as usize
+    }
+
+    /// Total terminals.
+    pub fn num_nodes(&self) -> usize {
+        self.num_switches() * self.p as usize
+    }
+
+    /// Generates the topology.
+    pub fn build(&self) -> Topology {
+        let g = self.groups();
+        let a = self.a;
+        let mut b = TopologyBuilder::new(
+            format!("dragonfly-p{}a{}h{}", self.p, a, self.h),
+            self.num_switches(),
+        );
+        let sid = |grp: u32, s: u32| SwitchId(grp * a + s);
+
+        // Intra-group complete graphs (copper: backplane/chassis scale).
+        for grp in 0..g {
+            for s1 in 0..a {
+                for s2 in (s1 + 1)..a {
+                    b.link_switches(sid(grp, s1), sid(grp, s2), LinkClass::Copper);
+                }
+            }
+        }
+        // Global cables: one per group pair; between groups i < j the cable
+        // occupies global-port (j-1) of group i and global-port i of group
+        // j (port q lives on switch q / h).
+        for i in 0..g {
+            for j in (i + 1)..g {
+                let qi = j - 1;
+                let qj = i;
+                b.link_switches(sid(i, qi / self.h), sid(j, qj / self.h), LinkClass::Aoc);
+            }
+        }
+        // Terminals.
+        for grp in 0..g {
+            for s in 0..a {
+                for _ in 0..self.p {
+                    b.attach_node(sid(grp, s));
+                }
+            }
+        }
+        b.meta(TopoMeta::Custom).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::TopologyProps;
+
+    #[test]
+    fn balanced_dfly_counts() {
+        // dfly(2,4,2): 9 groups x 4 switches = 36 switches, 72 nodes.
+        let c = DragonflyConfig::balanced(2);
+        assert_eq!(c.groups(), 9);
+        let t = c.build();
+        assert_eq!(t.num_switches(), 36);
+        assert_eq!(t.num_nodes(), 72);
+        // ISLs: intra 9 * C(4,2)=54; global C(9,2)=36.
+        assert_eq!(t.num_active_isl(), 54 + 36);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn every_switch_uses_h_global_ports() {
+        let c = DragonflyConfig::balanced(2);
+        let t = c.build();
+        for s in t.switches() {
+            let globals = t
+                .adj(s)
+                .iter()
+                .filter(|e| {
+                    t.link(e.link).class == crate::LinkClass::Aoc
+                })
+                .count();
+            assert_eq!(globals, 2, "switch {s}");
+        }
+    }
+
+    #[test]
+    fn diameter_is_three_switch_hops() {
+        // local + global + local.
+        let t = DragonflyConfig::balanced(2).build();
+        let p = TopologyProps::compute(&t);
+        assert_eq!(p.diameter, 3);
+    }
+
+    #[test]
+    fn dragonfly_routes_deadlock_free_with_vls() {
+        // Not a paper combo, but the generator must be routable by the
+        // topology-agnostic engines.
+        let t = DragonflyConfig { p: 1, a: 4, h: 1 }.build();
+        assert_eq!(t.num_switches(), 20);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn minimal_dfly() {
+        let t = DragonflyConfig { p: 1, a: 2, h: 1 }.build();
+        // 3 groups x 2 switches.
+        assert_eq!(t.num_switches(), 6);
+        assert_eq!(t.num_active_isl(), 3 + 3);
+        assert!(t.is_connected());
+    }
+}

@@ -1,0 +1,185 @@
+//! Cable-health modeling — the paper's deployment methodology.
+//!
+//! Section 2.3 and footnote 2: harvesting >900 AOCs from under the raised
+//! floor left 58 broken or degraded cables; the team generated fabric
+//! traffic, read the port/link error counters, filtered every cable with
+//! more than 10,000 symbol errors in a short period, and replaced what they
+//! could from the spare pool — ending up with two slightly imperfect
+//! networks. This module reproduces that pipeline: a seeded degradation
+//! model assigns symbol-error rates to cables, a burn-in "traffic test"
+//! accumulates counters, and [`CableScreening`] filters and repairs with a
+//! finite spare pool.
+
+use crate::graph::{LinkClass, Topology};
+use crate::ids::LinkId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's filter criterion: >10,000 symbol errors during the burn-in.
+pub const SYMBOL_ERROR_THRESHOLD: u64 = 10_000;
+
+/// Seeded per-cable degradation state.
+#[derive(Debug, Clone)]
+pub struct CableHealth {
+    /// Symbol errors accumulated per burn-in hour, per cable.
+    error_rate: Vec<u64>,
+}
+
+impl CableHealth {
+    /// Draws a degradation profile: each AOC is healthy with high
+    /// probability, and degraded cables draw a heavy-tailed error rate
+    /// (re-used optical cables fail much more often than copper).
+    pub fn generate(topo: &Topology, degraded_fraction: f64, seed: u64) -> CableHealth {
+        assert!((0.0..=1.0).contains(&degraded_fraction));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4ea1_74c1);
+        let error_rate = topo
+            .links()
+            .map(|(_, l)| {
+                let p = match l.class {
+                    LinkClass::Aoc => degraded_fraction,
+                    LinkClass::Copper => degraded_fraction / 10.0,
+                    LinkClass::Terminal => 0.0,
+                };
+                if rng.gen::<f64>() < p {
+                    // Heavy tail: between 10^3 and 10^7 errors/hour.
+                    let mag = rng.gen_range(3.0..7.0);
+                    10f64.powf(mag) as u64
+                } else {
+                    // Healthy cables still log a trickle.
+                    rng.gen_range(0..50)
+                }
+            })
+            .collect();
+        CableHealth { error_rate }
+    }
+
+    /// Symbol errors a cable logs over a burn-in of `hours`.
+    pub fn errors_after(&self, l: LinkId, hours: f64) -> u64 {
+        (self.error_rate[l.idx()] as f64 * hours) as u64
+    }
+
+    /// Cables exceeding the threshold after the burn-in.
+    pub fn degraded(&self, topo: &Topology, hours: f64, threshold: u64) -> Vec<LinkId> {
+        topo.links()
+            .filter(|(id, l)| {
+                l.class != LinkClass::Terminal && self.errors_after(*id, hours) > threshold
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Outcome of the screening-and-repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CableScreening {
+    /// Cables found degraded.
+    pub degraded: Vec<LinkId>,
+    /// Degraded cables repaired from the spare pool (re-activated).
+    pub replaced: Vec<LinkId>,
+    /// Degraded cables left disabled (spares exhausted) — the paper's
+    /// "the number of disabled cables in both networks still exceeds
+    /// available spares".
+    pub disabled: Vec<LinkId>,
+}
+
+impl CableScreening {
+    /// Runs the paper's pipeline on a topology: burn-in, filter, replace up
+    /// to `spares` cables, disable the rest. The topology is mutated in
+    /// place (disabled cables deactivated).
+    pub fn run(
+        topo: &mut Topology,
+        health: &CableHealth,
+        burn_in_hours: f64,
+        spares: usize,
+    ) -> CableScreening {
+        let mut degraded = health.degraded(topo, burn_in_hours, SYMBOL_ERROR_THRESHOLD);
+        // Worst cables are replaced first.
+        degraded.sort_by_key(|&l| std::cmp::Reverse(health.errors_after(l, burn_in_hours)));
+        let replaced: Vec<LinkId> = degraded.iter().copied().take(spares).collect();
+        let disabled: Vec<LinkId> = degraded.iter().copied().skip(spares).collect();
+        for &l in &disabled {
+            topo.deactivate(l);
+        }
+        CableScreening {
+            degraded,
+            replaced,
+            disabled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperx::HyperXConfig;
+
+    #[test]
+    fn healthy_fabric_passes_screening() {
+        let mut t = HyperXConfig::new(vec![4, 4], 2).build();
+        let h = CableHealth::generate(&t, 0.0, 1);
+        let s = CableScreening::run(&mut t, &h, 2.0, 10);
+        assert!(s.degraded.is_empty());
+        assert!(s.disabled.is_empty());
+        assert_eq!(t.num_active_isl(), 48);
+    }
+
+    #[test]
+    fn degraded_cables_are_found_and_replaced() {
+        let mut t = HyperXConfig::t2_hyperx(672).build();
+        // The paper's ~6% degradation rate (58 of >900 harvested AOCs).
+        let h = CableHealth::generate(&t, 0.06, 7);
+        let before = t.num_active_isl();
+        let s = CableScreening::run(&mut t, &h, 2.0, 40);
+        assert!(!s.degraded.is_empty(), "6% of 768 AOCs should degrade");
+        assert_eq!(s.replaced.len(), s.degraded.len().min(40));
+        assert_eq!(
+            t.num_active_isl(),
+            before - s.disabled.len(),
+            "disabled cables deactivate"
+        );
+        // Replaced cables stay active.
+        for &l in &s.replaced {
+            assert!(t.is_active(l));
+        }
+    }
+
+    #[test]
+    fn spare_shortage_leaves_cables_dark() {
+        let mut t = HyperXConfig::t2_hyperx(672).build();
+        let h = CableHealth::generate(&t, 0.10, 3);
+        let s = CableScreening::run(&mut t, &h, 2.0, 5);
+        assert_eq!(s.replaced.len(), 5);
+        assert!(!s.disabled.is_empty());
+        // Worst cables were replaced first.
+        let worst_replaced = s.replaced.iter().map(|&l| h.errors_after(l, 2.0)).min();
+        let best_disabled = s.disabled.iter().map(|&l| h.errors_after(l, 2.0)).max();
+        assert!(worst_replaced >= best_disabled);
+    }
+
+    #[test]
+    fn burn_in_length_matters() {
+        let t = HyperXConfig::new(vec![6, 4], 1).build();
+        let h = CableHealth::generate(&t, 0.3, 11);
+        let short = h.degraded(&t, 0.001, SYMBOL_ERROR_THRESHOLD).len();
+        let long = h.degraded(&t, 10.0, SYMBOL_ERROR_THRESHOLD).len();
+        assert!(long >= short, "longer burn-in catches more ({short} vs {long})");
+    }
+
+    #[test]
+    fn terminal_cables_never_flagged() {
+        let t = HyperXConfig::new(vec![4, 4], 4).build();
+        let h = CableHealth::generate(&t, 1.0, 5);
+        for l in h.degraded(&t, 100.0, 0) {
+            assert_ne!(t.link(l).class, LinkClass::Terminal);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = HyperXConfig::t2_hyperx(100).build();
+        let a = CableHealth::generate(&t, 0.05, 9).degraded(&t, 1.0, 1000);
+        let b = CableHealth::generate(&t, 0.05, 9).degraded(&t, 1.0, 1000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,366 @@
+//! HyperX direct-network generator.
+//!
+//! A HyperX (Ahn et al., SC'09) is an L-dimensional integer lattice of
+//! switches, shape `S = (S_1, ..., S_L)`, where every dimension is *fully
+//! connected*: two switches are cabled iff their coordinates differ in
+//! exactly one dimension. Each switch hosts `T` terminal nodes.
+//!
+//! The paper's network is the 2-D `12x8` HyperX with `T = 7` (96 switches,
+//! 672 nodes, 57.1% bisection bandwidth relative to full).
+
+use crate::graph::{LinkClass, Topology, TopologyBuilder};
+use crate::ids::{NodeId, SwitchId};
+use crate::TopoMeta;
+
+/// Quadrant of a 2-D HyperX with even dimensions, as used by the paper's
+/// PARX routing (Section 3.2.1, Figure 3).
+///
+/// The mapping is fixed by Table 1 of the paper: small-message (minimal)
+/// choices must avoid the quadrant's own half-removal rules, which pins
+/// `Q0` to the top-left, `Q1` bottom-left, `Q2` bottom-right, `Q3` top-right
+/// ("left" = first-dimension coordinate `x < S_1/2`, "top" = second-dimension
+/// coordinate `y < S_2/2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// Left-top.
+    Q0,
+    /// Left-bottom.
+    Q1,
+    /// Right-bottom.
+    Q2,
+    /// Right-top.
+    Q3,
+}
+
+impl Quadrant {
+    /// Numeric index 0..4.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Quadrant::Q0 => 0,
+            Quadrant::Q1 => 1,
+            Quadrant::Q2 => 2,
+            Quadrant::Q3 => 3,
+        }
+    }
+
+    /// From numeric index.
+    pub fn from_index(i: usize) -> Quadrant {
+        match i {
+            0 => Quadrant::Q0,
+            1 => Quadrant::Q1,
+            2 => Quadrant::Q2,
+            3 => Quadrant::Q3,
+            _ => panic!("quadrant index {i} out of range"),
+        }
+    }
+
+    /// All quadrants.
+    pub fn all() -> [Quadrant; 4] {
+        [Quadrant::Q0, Quadrant::Q1, Quadrant::Q2, Quadrant::Q3]
+    }
+}
+
+/// Lattice metadata of a generated HyperX.
+#[derive(Debug, Clone)]
+pub struct HyperXShape {
+    /// Per-dimension extent `S_d`.
+    pub shape: Vec<u32>,
+    /// Terminals per switch `T`.
+    pub terminals: u32,
+}
+
+impl HyperXShape {
+    /// Number of dimensions `L`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of switches (product of extents).
+    pub fn num_switches(&self) -> usize {
+        self.shape.iter().map(|&s| s as usize).product()
+    }
+
+    /// Coordinate of a switch (row-major: dimension 0 varies fastest).
+    pub fn coord(&self, s: SwitchId) -> Vec<u32> {
+        let mut rest = s.idx();
+        self.shape
+            .iter()
+            .map(|&extent| {
+                let c = (rest % extent as usize) as u32;
+                rest /= extent as usize;
+                c
+            })
+            .collect()
+    }
+
+    /// Switch at a coordinate.
+    pub fn switch_at(&self, coord: &[u32]) -> SwitchId {
+        assert_eq!(coord.len(), self.dims());
+        let mut idx = 0usize;
+        for (d, (&c, &extent)) in coord.iter().zip(&self.shape).enumerate().rev() {
+            let _ = d;
+            assert!(c < extent, "coordinate out of range");
+            idx = idx * extent as usize + c as usize;
+        }
+        SwitchId::from_idx(idx)
+    }
+
+    /// Quadrant of a switch; requires a 2-D shape with even extents.
+    pub fn quadrant(&self, s: SwitchId) -> Quadrant {
+        assert_eq!(self.dims(), 2, "quadrants defined for 2-D HyperX only");
+        assert!(
+            self.shape[0].is_multiple_of(2) && self.shape[1].is_multiple_of(2),
+            "quadrants require even dimensions"
+        );
+        let c = self.coord(s);
+        let left = c[0] < self.shape[0] / 2;
+        let top = c[1] < self.shape[1] / 2;
+        match (left, top) {
+            (true, true) => Quadrant::Q0,
+            (true, false) => Quadrant::Q1,
+            (false, false) => Quadrant::Q2,
+            (false, true) => Quadrant::Q3,
+        }
+    }
+
+    /// Switch a node is attached to (nodes are attached `T` per switch, in
+    /// switch order).
+    pub fn node_switch(&self, n: NodeId) -> SwitchId {
+        SwitchId::from_idx(n.idx() / self.terminals as usize)
+    }
+}
+
+/// Configuration for HyperX generation.
+#[derive(Debug, Clone)]
+pub struct HyperXConfig {
+    /// Name stem.
+    pub name: String,
+    /// Per-dimension extents `S`.
+    pub shape: Vec<u32>,
+    /// Terminals per switch `T`.
+    pub terminals: u32,
+    /// Total number of nodes to attach (last switches may stay empty).
+    /// Defaults to `T * prod(S)` via [`HyperXConfig::new`].
+    pub total_nodes: usize,
+    /// Optional 2-D rack blocking `(bx, by)`: switches within the same
+    /// `bx x by` block are considered rack-internal, their cables copper.
+    pub rack_block: Option<(u32, u32)>,
+}
+
+impl HyperXConfig {
+    /// Fully-populated HyperX of the given shape.
+    pub fn new(shape: Vec<u32>, terminals: u32) -> Self {
+        let switches: usize = shape.iter().map(|&s| s as usize).product();
+        HyperXConfig {
+            name: format!(
+                "hyperx-{}-t{terminals}",
+                shape
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
+            shape,
+            terminals,
+            total_nodes: switches * terminals as usize,
+            rack_block: None,
+        }
+    }
+
+    /// The paper's 12x8 2-D HyperX with 7 nodes per switch, racked as 2x2
+    /// switch blocks (24 racks of 4 switches, matching Figure 2c).
+    pub fn t2_hyperx(total_nodes: usize) -> Self {
+        let mut c = HyperXConfig::new(vec![12, 8], 7);
+        assert!(total_nodes <= 672);
+        c.total_nodes = total_nodes;
+        c.rack_block = Some((2, 2));
+        c.name = format!("hyperx-12x8-t7-{total_nodes}");
+        c
+    }
+
+    /// Rack index of a switch coordinate under the configured blocking.
+    fn rack_of(&self, coord: &[u32]) -> Option<(u32, u32)> {
+        let (bx, by) = self.rack_block?;
+        if coord.len() != 2 {
+            return None;
+        }
+        Some((coord[0] / bx, coord[1] / by))
+    }
+
+    /// Generates the topology.
+    pub fn build(&self) -> Topology {
+        let shape_meta = HyperXShape {
+            shape: self.shape.clone(),
+            terminals: self.terminals,
+        };
+        let num_switches = shape_meta.num_switches();
+        assert!(
+            self.total_nodes <= num_switches * self.terminals as usize,
+            "too many nodes"
+        );
+        let mut b = TopologyBuilder::new(self.name.clone(), num_switches);
+
+        // Per-dimension full connectivity: for each ordered pair of switches
+        // differing in exactly one dimension with coord_a < coord_b, add one
+        // cable.
+        for s in 0..num_switches {
+            let sa = SwitchId::from_idx(s);
+            let ca = shape_meta.coord(sa);
+            for (d, &extent) in self.shape.iter().enumerate() {
+                for c2 in (ca[d] + 1)..extent {
+                    let mut cb = ca.clone();
+                    cb[d] = c2;
+                    let sb = shape_meta.switch_at(&cb);
+                    let class = match (self.rack_of(&ca), self.rack_of(&cb)) {
+                        (Some(ra), Some(rb)) if ra == rb => LinkClass::Copper,
+                        _ => LinkClass::Aoc,
+                    };
+                    b.link_switches(sa, sb, class);
+                }
+            }
+        }
+
+        // Terminals: T per switch, in switch order.
+        for n in 0..self.total_nodes {
+            let sw = SwitchId::from_idx(n / self.terminals as usize);
+            b.attach_node(sw);
+        }
+
+        b.meta(TopoMeta::HyperX(shape_meta)).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkClass;
+
+    #[test]
+    fn fig2b_4x4_hyperx() {
+        // Figure 2b: 2-D 4x4 HyperX with 32 compute nodes (T=2).
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_nodes(), 32);
+        // ISLs: dim0: 4 rows.. per line C(4,2)=6; 4 lines per dim, 2 dims
+        // => dim0: 4*6=24, dim1: 4*6=24 => 48.
+        assert_eq!(t.num_active_isl(), 48);
+        assert!(t.is_connected());
+        // Every switch has degree (4-1)+(4-1)=6.
+        for s in t.switches() {
+            assert_eq!(t.active_switch_neighbors(s).count(), 6);
+        }
+    }
+
+    #[test]
+    fn t2_hyperx_structure() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        assert_eq!(t.num_switches(), 96);
+        assert_eq!(t.num_nodes(), 672);
+        // ISLs: dim0 (12-line): 8 lines? No: lines along dim0 fix dim1 =>
+        // 8 lines of C(12,2)=66 => 528; dim1: 12 lines of C(8,2)=28 => 336.
+        assert_eq!(t.num_active_isl(), 528 + 336);
+        // Every switch: 11 + 7 = 18 ISL ports + 7 terminals = 25 used ports
+        // (of 36 on the Voltaire 4036).
+        for s in t.switches() {
+            assert_eq!(t.active_switch_neighbors(s).count(), 18);
+            assert_eq!(t.attached_nodes(s).count(), 7);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn t2_hyperx_rack_copper() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let copper = t
+            .links()
+            .filter(|(_, l)| l.class == LinkClass::Copper)
+            .count();
+        // 24 racks (6x4 blocks of 2x2): each block has 2 dim0 + 2 dim1
+        // internal cables => 96 copper; the rest of the 864 ISLs are AOC.
+        assert_eq!(copper, 96);
+        let aoc = t.links().filter(|(_, l)| l.class == LinkClass::Aoc).count();
+        assert_eq!(aoc, 864 - 96);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let c = HyperXConfig::new(vec![12, 8], 7);
+        let t = c.build();
+        let hx = t.meta.as_hyperx().unwrap();
+        for s in t.switches() {
+            let coord = hx.coord(s);
+            assert_eq!(hx.switch_at(&coord), s);
+            assert!(coord[0] < 12 && coord[1] < 8);
+        }
+    }
+
+    #[test]
+    fn quadrant_mapping() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let hx = t.meta.as_hyperx().unwrap();
+        // Corners.
+        assert_eq!(hx.quadrant(hx.switch_at(&[0, 0])), Quadrant::Q0);
+        assert_eq!(hx.quadrant(hx.switch_at(&[0, 7])), Quadrant::Q1);
+        assert_eq!(hx.quadrant(hx.switch_at(&[11, 7])), Quadrant::Q2);
+        assert_eq!(hx.quadrant(hx.switch_at(&[11, 0])), Quadrant::Q3);
+        // Quadrants are balanced: 24 switches each.
+        let mut counts = [0usize; 4];
+        for s in t.switches() {
+            counts[hx.quadrant(s).index()] += 1;
+        }
+        assert_eq!(counts, [24, 24, 24, 24]);
+    }
+
+    #[test]
+    fn diameter_two_switch_hops() {
+        // Any two switches differ in at most 2 dims => at most 2 ISL hops.
+        let t = HyperXConfig::new(vec![4, 3], 1).build();
+        let hx = t.meta.as_hyperx().unwrap().clone();
+        for a in t.switches() {
+            for bsw in t.switches() {
+                let (ca, cb) = (hx.coord(a), hx.coord(bsw));
+                let diff = ca.iter().zip(&cb).filter(|(x, y)| x != y).count();
+                assert!(diff <= 2);
+                if diff == 1 {
+                    // Direct cable exists.
+                    assert!(
+                        t.active_switch_neighbors(a).any(|(p, _)| p == bsw),
+                        "{a}->{bsw} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_switch_mapping() {
+        let t = HyperXConfig::t2_hyperx(100).build();
+        let hx = t.meta.as_hyperx().unwrap().clone();
+        assert_eq!(t.num_nodes(), 100);
+        for n in t.nodes() {
+            let (s, _) = t.node_switch(n);
+            assert_eq!(hx.node_switch(n), s);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_hyperx_is_complete_graph() {
+        let t = HyperXConfig::new(vec![5], 2).build();
+        assert_eq!(t.num_switches(), 5);
+        assert_eq!(t.num_active_isl(), 10); // C(5,2)
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn three_dimensional_hyperx() {
+        let t = HyperXConfig::new(vec![3, 3, 3], 1).build();
+        assert_eq!(t.num_switches(), 27);
+        // Per line C(3,2)=3; lines per dim: 9; 3 dims => 81 ISLs.
+        assert_eq!(t.num_active_isl(), 81);
+        for s in t.switches() {
+            assert_eq!(t.active_switch_neighbors(s).count(), 6); // 2+2+2
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense integer identifiers for topology entities.
+//!
+//! All entities are addressed by `u32` newtypes so that downstream layers can
+//! index flat `Vec`s instead of hash maps (per the Rust Performance Book's
+//! guidance on hashing and type sizes).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into a dense `Vec`.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index.
+            #[inline]
+            pub fn from_idx(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.idx()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A crossbar switch in the fabric.
+    SwitchId,
+    "s"
+);
+id_type!(
+    /// A terminal (compute node / HCA port) attached to a switch.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A bidirectional cable between two entities (switch-switch or
+    /// switch-node). Each direction has independent capacity.
+    LinkId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_idx() {
+        let s = SwitchId::from_idx(42);
+        assert_eq!(s.idx(), 42);
+        assert_eq!(s, SwitchId(42));
+        let n = NodeId::from_idx(0);
+        assert_eq!(n.idx(), 0);
+        let l = LinkId::from_idx(7);
+        assert_eq!(usize::from(l), 7);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(SwitchId(3).to_string(), "s3");
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(LinkId(5).to_string(), "l5");
+        assert_eq!(format!("{:?}", SwitchId(3)), "s3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SwitchId(1) < SwitchId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+}

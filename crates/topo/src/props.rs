@@ -1,0 +1,252 @@
+//! Structural properties of topologies: diameter, average path length,
+//! bisection bandwidth, path diversity. Used to validate the generators
+//! against the paper's Figure 2 and Section 2 claims (e.g. 57.1% bisection
+//! for the 12x8 HyperX with T=7).
+
+use crate::graph::Topology;
+use crate::ids::SwitchId;
+use crate::TopoMeta;
+
+/// Computed structural properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyProps {
+    /// Switch count.
+    pub switches: usize,
+    /// Terminal count.
+    pub nodes: usize,
+    /// Active inter-switch cables.
+    pub isl: usize,
+    /// Switch-graph diameter in hops (max over populated switches).
+    pub diameter: usize,
+    /// Mean switch-to-switch shortest-path length.
+    pub avg_path: f64,
+    /// Bisection bandwidth ratio: crossing-cable capacity at the worst
+    /// balanced cut, divided by the injection capacity of half the nodes.
+    /// 1.0 = full bisection.
+    pub bisection_ratio: f64,
+}
+
+/// BFS distances from one switch over active ISLs. `usize::MAX` marks
+/// unreachable switches.
+pub fn bfs_dist(topo: &Topology, from: SwitchId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topo.num_switches()];
+    dist[from.idx()] = 0;
+    let mut frontier = vec![from];
+    let mut next = Vec::new();
+    let mut d = 0usize;
+    while !frontier.is_empty() {
+        d += 1;
+        for &s in &frontier {
+            for (p, _) in topo.active_switch_neighbors(s) {
+                if dist[p.idx()] == usize::MAX {
+                    dist[p.idx()] = d;
+                    next.push(p);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// Number of active cables crossing a cut given by a membership predicate
+/// over switches.
+fn crossing_links(topo: &Topology, in_a: impl Fn(SwitchId) -> bool) -> usize {
+    topo.links()
+        .filter(|(_, l)| {
+            if !l.active {
+                return false;
+            }
+            match (l.a.switch(), l.b.switch()) {
+                (Some(a), Some(b)) => in_a(a) != in_a(b),
+                _ => false,
+            }
+        })
+        .count()
+}
+
+impl TopologyProps {
+    /// Computes all properties. For generated topologies the bisection cut is
+    /// exact (dimension-halving cut for HyperX, top-stage up-capacity cut for
+    /// Fat-Trees); for custom topologies a node-count-balanced index cut is
+    /// used as an estimate.
+    pub fn compute(topo: &Topology) -> TopologyProps {
+        let switches = topo.num_switches();
+        let nodes = topo.num_nodes();
+        let isl = topo.num_active_isl();
+
+        // Diameter / average path over switches that host nodes (empty
+        // switches of partially-populated systems still count as transit).
+        let mut diameter = 0usize;
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        for s in topo.switches() {
+            let dist = bfs_dist(topo, s);
+            for (i, &d) in dist.iter().enumerate() {
+                if i == s.idx() || d == usize::MAX {
+                    continue;
+                }
+                diameter = diameter.max(d);
+                sum += d as u64;
+                pairs += 1;
+            }
+        }
+        let avg_path = if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        };
+
+        let bisection_ratio = Self::bisection_ratio(topo);
+
+        TopologyProps {
+            switches,
+            nodes,
+            isl,
+            diameter,
+            avg_path,
+            bisection_ratio,
+        }
+    }
+
+    /// Bisection bandwidth relative to full bisection (node-injection
+    /// capacity of half the nodes). Assumes uniform link capacities.
+    pub fn bisection_ratio(topo: &Topology) -> f64 {
+        if topo.num_nodes() == 0 {
+            return 0.0;
+        }
+        let half_nodes = topo.num_nodes() as f64 / 2.0;
+        let crossing = match &topo.meta {
+            TopoMeta::HyperX(hx) => {
+                // Worst dimension-halving cut.
+                let mut min_cross = usize::MAX;
+                for (d, &extent) in hx.shape.iter().enumerate() {
+                    if extent < 2 {
+                        continue;
+                    }
+                    let half = extent / 2;
+                    let cross =
+                        crossing_links(topo, |s: SwitchId| hx.coord(s)[d] < half);
+                    min_cross = min_cross.min(cross);
+                }
+                if min_cross == usize::MAX {
+                    0
+                } else {
+                    min_cross
+                }
+            }
+            TopoMeta::FatTree(levels) => {
+                // A balanced cut through the tree separates the leaf halves;
+                // the crossing capacity is bounded by the up-capacity of the
+                // narrowest level. We measure the exact cut splitting leaves
+                // by index (spines assigned to minimize crossing is NP-hard;
+                // splitting the top stage by index is the standard estimate
+                // for folded Clos).
+                let leaf_half: Vec<bool> = {
+                    let leaves: Vec<SwitchId> = levels.at_level(0).collect();
+                    let mut in_a = vec![false; topo.num_switches()];
+                    for (i, &s) in leaves.iter().enumerate() {
+                        in_a[s.idx()] = i < leaves.len() / 2;
+                    }
+                    // Upper switches: assign to the side of the majority of
+                    // their downlinks, greedily level by level.
+                    for lvl in 1..levels.num_levels {
+                        for s in levels.at_level(lvl) {
+                            let mut a = 0i64;
+                            for (p, _) in topo.active_switch_neighbors(s) {
+                                if levels.level(p) + 1 == lvl {
+                                    a += if in_a[p.idx()] { 1 } else { -1 };
+                                }
+                            }
+                            in_a[s.idx()] = a >= 0;
+                        }
+                    }
+                    in_a
+                };
+                crossing_links(topo, |s: SwitchId| leaf_half[s.idx()])
+            }
+            TopoMeta::Custom => {
+                // Index-balanced estimate.
+                let half = topo.num_switches() / 2;
+                crossing_links(topo, |s: SwitchId| s.idx() < half)
+            }
+        };
+        crossing as f64 / half_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeConfig;
+    use crate::hyperx::HyperXConfig;
+
+    #[test]
+    fn hyperx_12x8_bisection_is_57_percent() {
+        // Paper Section 2.3: "slightly over half-bisection bandwidth, i.e.
+        // 57.1% to be precise". Worst cut: dimension 2 split 4|4 => 12 lines
+        // x 4*4 = 192 crossing cables; 336 node-halves => 192/336 = 0.5714.
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let r = TopologyProps::bisection_ratio(&t);
+        assert!((r - 0.5714).abs() < 0.001, "bisection {r}");
+    }
+
+    #[test]
+    fn hyperx_diameter_two() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let p = TopologyProps::compute(&t);
+        assert_eq!(p.diameter, 2);
+        assert_eq!(p.switches, 96);
+        assert_eq!(p.nodes, 672);
+    }
+
+    #[test]
+    fn fattree_diameter_four() {
+        // leaf -> mid -> spine -> mid -> leaf = 4 switch-graph hops.
+        let t = FatTreeConfig::tsubame2(672);
+        let p = TopologyProps::compute(&t);
+        assert_eq!(p.diameter, 4);
+    }
+
+    #[test]
+    fn tsubame2_fattree_is_full_bisection() {
+        // Undersubscribed leaves: 18 uplinks vs 14 nodes => > 1.0.
+        let t = FatTreeConfig::tsubame2(672);
+        let r = TopologyProps::bisection_ratio(&t);
+        assert!(r >= 1.0, "fat-tree bisection {r} should exceed full");
+    }
+
+    #[test]
+    fn k_ary_n_tree_full_bisection() {
+        let t = FatTreeConfig::k_ary_n_tree(4, 2);
+        let r = TopologyProps::bisection_ratio(&t);
+        assert!(r >= 1.0, "4-ary 2-tree bisection {r}");
+    }
+
+    #[test]
+    fn bfs_dist_self_is_zero() {
+        let t = HyperXConfig::new(vec![3, 3], 1).build();
+        let d = bfs_dist(&t, SwitchId(0));
+        assert_eq!(d[0], 0);
+        assert!(d.iter().all(|&x| x <= 2));
+    }
+
+    #[test]
+    fn faulted_hyperx_diameter_grows_at_most_modestly() {
+        use crate::faults::FaultPlan;
+        let mut t = HyperXConfig::t2_hyperx(672).build();
+        FaultPlan::t2_hyperx().apply(&mut t);
+        let p = TopologyProps::compute(&t);
+        // Losing 15 of 864 cables can stretch some pairs to 3 hops but the
+        // fabric stays tightly coupled.
+        assert!(p.diameter <= 3, "diameter {} after faults", p.diameter);
+    }
+
+    #[test]
+    fn average_path_hyperx_below_two() {
+        let t = HyperXConfig::t2_hyperx(672).build();
+        let p = TopologyProps::compute(&t);
+        assert!(p.avg_path > 1.0 && p.avg_path < 2.0, "avg {}", p.avg_path);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the topology substrate: generator invariants
+//! hold for arbitrary shapes, and fault injection never breaks the fabric.
+
+use hxtopo::fattree::FatTreeConfig;
+use hxtopo::faults::{FaultCount, FaultPlan};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{LinkClass, TopologyProps};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any HyperX has per-dimension full connectivity: switch degree is
+    /// the sum of (extent - 1), link count matches the closed form, and
+    /// the diameter never exceeds the dimension count.
+    #[test]
+    fn hyperx_structure(
+        s1 in 2u32..8,
+        s2 in 1u32..6,
+        s3 in 1u32..4,
+        t in 1u32..4,
+    ) {
+        let shape: Vec<u32> = [s1, s2, s3].into_iter().filter(|&s| s > 1).collect();
+        prop_assume!(!shape.is_empty());
+        let topo = HyperXConfig::new(shape.clone(), t).build();
+        let switches: u32 = shape.iter().product();
+        prop_assert_eq!(topo.num_switches(), switches as usize);
+        prop_assert_eq!(topo.num_nodes(), (switches * t) as usize);
+
+        let expected_degree: u32 = shape.iter().map(|&s| s - 1).sum();
+        for sw in topo.switches() {
+            prop_assert_eq!(
+                topo.active_switch_neighbors(sw).count(),
+                expected_degree as usize
+            );
+        }
+        // Closed-form ISL count: sum over dims of lines * C(extent, 2).
+        let mut isl = 0u64;
+        for (d, &extent) in shape.iter().enumerate() {
+            let lines: u64 = shape
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != d)
+                .map(|(_, &s)| s as u64)
+                .product();
+            isl += lines * (extent as u64 * (extent as u64 - 1) / 2);
+        }
+        prop_assert_eq!(topo.num_active_isl() as u64, isl);
+
+        let props = TopologyProps::compute(&topo);
+        prop_assert!(props.diameter <= shape.len());
+        prop_assert!(topo.is_connected());
+    }
+
+    /// Coordinates round-trip through the switch index for any shape.
+    #[test]
+    fn hyperx_coord_roundtrip(s1 in 2u32..10, s2 in 2u32..8) {
+        let topo = HyperXConfig::new(vec![s1, s2], 1).build();
+        let hx = topo.meta.as_hyperx().unwrap();
+        for sw in topo.switches() {
+            let c = hx.coord(sw);
+            prop_assert_eq!(hx.switch_at(&c), sw);
+        }
+    }
+
+    /// k-ary n-trees have the textbook switch/node counts, full bisection,
+    /// and a diameter of 2(n-1) switch hops.
+    #[test]
+    fn k_ary_n_tree_structure(k in 2usize..5, n in 1usize..4) {
+        let topo = FatTreeConfig::k_ary_n_tree(k, n);
+        prop_assert_eq!(topo.num_nodes(), k.pow(n as u32));
+        prop_assert_eq!(topo.num_switches(), n * k.pow((n - 1) as u32));
+        prop_assert!(topo.is_connected());
+        let props = TopologyProps::compute(&topo);
+        if n > 1 {
+            prop_assert_eq!(props.diameter, 2 * (n - 1));
+            // The cut estimator splits the leaves by index; with an odd
+            // leaf count the smaller side carries floor(L/2)/(L/2) of the
+            // ideal crossing capacity.
+            let leaves = k.pow((n - 1) as u32) as f64;
+            let expected = (leaves / 2.0).floor() / (leaves / 2.0);
+            prop_assert!(
+                props.bisection_ratio >= expected - 1e-9,
+                "ratio {} < {expected}",
+                props.bisection_ratio
+            );
+        }
+    }
+
+    /// Fault plans never disconnect the fabric and never touch terminal
+    /// cables, for any removal count and seed.
+    #[test]
+    fn faults_preserve_connectivity(
+        count in 0usize..200,
+        seed in 0u64..1000,
+    ) {
+        let mut topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let removed = FaultPlan {
+            count: FaultCount::Absolute(count),
+            class: None,
+            seed,
+        }
+        .apply(&mut topo);
+        prop_assert!(topo.is_connected());
+        prop_assert!(removed.len() <= count);
+        for l in removed {
+            prop_assert!(topo.link(l).class != LinkClass::Terminal);
+            prop_assert!(!topo.is_active(l));
+        }
+    }
+
+    /// Fractional fault plans remove the requested share of candidates.
+    #[test]
+    fn fault_fraction_accurate(frac in 0.0f64..0.3) {
+        let mut topo = HyperXConfig::new(vec![6, 4], 1).build();
+        let before = topo.num_active_isl();
+        let removed = FaultPlan {
+            count: FaultCount::Fraction(frac),
+            class: None,
+            seed: 7,
+        }
+        .apply(&mut topo);
+        let expected = (before as f64 * frac).round() as usize;
+        // Connectivity guard may keep a few extra cables alive.
+        prop_assert!(removed.len() <= expected);
+        prop_assert!(removed.len() + 3 >= expected.min(before / 2));
+    }
+}

@@ -1,0 +1,43 @@
+//! Full-scale application comparison: runs one stencil app (AMG) and one
+//! transpose app (SWFFT) at several scales across all five combos on the
+//! production 672-node dual-plane system — a miniature of the paper's
+//! Figure 6 workflow.
+//!
+//! ```sh
+//! cargo run --release --example app_comparison
+//! ```
+
+use t2hx::core::{Combo, Runner, T2hx};
+use t2hx::load::proxy::{Amg, Swfft};
+use t2hx::load::workload::Workload;
+
+fn main() {
+    let sys = T2hx::build(672, true).expect("full system routes");
+    let runner = Runner::default();
+
+    let amg = Amg::default();
+    let fft = Swfft::default();
+    let apps: [(&dyn Workload, &[usize]); 2] =
+        [(&amg, &[28, 112, 672]), (&fft, &[16, 64, 512])];
+
+    for (w, counts) in apps {
+        println!("# {} (kernel runtime, best of 10)", w.name());
+        for &n in counts {
+            print!("  n={n:>4}:");
+            let base = runner
+                .run(&sys, Combo::baseline(), w, n)
+                .best(false)
+                .expect("baseline completes");
+            for combo in Combo::all() {
+                match runner.run(&sys, combo, w, n).best(false) {
+                    Some(v) => print!("  {}={v:>7.1}s ({:+.2})", combo.short(), base / v - 1.0),
+                    None => print!("  {}=walltime", combo.short()),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("expectation (paper Fig. 6): AMG flat within a few percent on every combo;");
+    println!("SWFFT topology-sensitive, HyperX minimal routing losing at scale.");
+}

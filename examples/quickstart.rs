@@ -1,0 +1,35 @@
+//! Quickstart: build a miniature dual-plane system (Fat-Tree + HyperX over
+//! the same 32 nodes), run an MPI Allreduce on both planes, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use t2hx::core::{Combo, Runner, T2hx};
+use t2hx::load::imb::ImbCollective;
+
+fn main() {
+    // A 32-node system: an 8-leaf folded Clos and a 4x4 HyperX, both routed
+    // (ftree, SSSP, DFSSSP and PARX) and verified deadlock-free.
+    let sys = T2hx::mini().expect("mini system routes");
+    println!(
+        "dual-plane system: {} nodes; HyperX needs {} VL(s) for DFSSSP, {} for PARX",
+        sys.num_nodes(),
+        sys.hx_dfsssp.num_vls,
+        sys.hx_parx.num_vls
+    );
+
+    // Latency of a 4 KiB Allreduce at 16 ranks under each of the paper's
+    // five (topology, routing, placement) combinations.
+    let runner = Runner::default();
+    println!("\nIMB Allreduce, 16 ranks, 4 KiB (best of 10):");
+    for combo in Combo::all() {
+        let us = runner.imb_tmin_us(&sys, combo, ImbCollective::Allreduce, 16, 4096);
+        println!("  {:<28} {us:>8.2} us", combo.label());
+    }
+
+    // The headline effect of the paper's Figure 5b: PARX pays the bfo PML
+    // penalty on latency-bound collectives.
+    let g = runner.imb_gain(&sys, Combo::HxParxClustered, ImbCollective::Barrier, 16, 0);
+    println!("\nPARX Barrier gain vs baseline: {g:+.2} (paper: -0.65 .. -0.85)");
+}

@@ -1,0 +1,18 @@
+//! # t2hx — facade crate
+//!
+//! Re-exports the full t2hx workspace: a from-scratch reproduction of the
+//! SC'19 paper *"HyperX Topology: First At-Scale Implementation and
+//! Comparison to the Fat-Tree"* (Domke et al.) as a simulation toolchain.
+//!
+//! Start with [`hxcore::system::T2hx`] to build the dual-plane TSUBAME2
+//! model and [`hxcore::experiment`] to run paper experiments; see the
+//! `examples/` directory for runnable entry points and `crates/bench` for
+//! the per-figure reproduction harnesses.
+
+pub use hxcap as cap;
+pub use hxcore as core;
+pub use hxload as load;
+pub use hxmpi as mpi;
+pub use hxroute as route;
+pub use hxsim as sim;
+pub use hxtopo as topo;
