@@ -20,11 +20,9 @@ fn hyperx_engines(c: &mut Criterion) {
             ("parx", Box::new(Parx::default())),
         ];
         for (name, engine) in engines {
-            g.bench_with_input(
-                BenchmarkId::new(name, label),
-                &topo,
-                |b, topo| b.iter(|| engine.route(topo).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(name, label), &topo, |b, topo| {
+                b.iter(|| engine.route(topo).unwrap())
+            });
         }
     }
     g.finish();

@@ -20,6 +20,7 @@ use hxtopo::hyperx::HyperXConfig;
 use hxtopo::NodeId;
 
 fn main() {
+    let _obs = hxbench::obs_scope("ablation_parx");
     let topo = HyperXConfig::t2_hyperx(672).build();
     let nodes: Vec<NodeId> = topo.nodes().collect();
     // 224 nodes span several grid rows, so minimal paths have intermediate-
@@ -94,8 +95,7 @@ fn main() {
                 continue;
             }
             total += 1;
-            if parx.path(&topo, src, lid).unwrap().hops
-                != aware.path(&topo, src, lid).unwrap().hops
+            if parx.path(&topo, src, lid).unwrap().hops != aware.path(&topo, src, lid).unwrap().hops
             {
                 diff += 1;
             }
@@ -110,7 +110,10 @@ fn main() {
     println!("# Ablation 3: minimal routing balance (eBB GiB/s, {n} nodes)");
     let dfsssp = Dfsssp::default().route(&topo).unwrap();
     let minhop = MinHop::default().route(&topo).unwrap();
-    for (name, routes) in [("DFSSSP (balanced)", &dfsssp), ("MinHop (unbalanced)", &minhop)] {
+    for (name, routes) in [
+        ("DFSSSP (balanced)", &dfsssp),
+        ("MinHop (unbalanced)", &minhop),
+    ] {
         let fabric = Fabric::new(
             &topo,
             routes,

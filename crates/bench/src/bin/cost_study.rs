@@ -37,6 +37,7 @@ fn tapered_fattree(uplinks: usize) -> Topology {
 }
 
 fn main() {
+    let _obs = hxbench::obs_scope("cost_study");
     let model = CostModel::default();
     println!("# Cost vs. delivered bandwidth, 672 nodes\n");
     println!(
@@ -45,7 +46,11 @@ fn main() {
     );
 
     let mut rows: Vec<(String, Topology, bool)> = vec![
-        ("Fat-Tree (18 up, paper)".into(), FatTreeConfig::tsubame2(672), true),
+        (
+            "Fat-Tree (18 up, paper)".into(),
+            FatTreeConfig::tsubame2(672),
+            true,
+        ),
         ("Fat-Tree tapered (9 up)".into(), tapered_fattree(9), true),
         ("Fat-Tree tapered (6 up)".into(), tapered_fattree(6), true),
         (

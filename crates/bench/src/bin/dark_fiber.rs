@@ -9,6 +9,7 @@ use hxmpi::rounds::{estimate_detailed, RoundProgram};
 use hxsim::stats::LinkUsage;
 
 fn main() {
+    let _obs = hxbench::obs_scope("dark_fiber");
     let sys = T2hx::build(672, true).expect("system routes");
     let n = 112;
     println!("# Dark-fiber analysis: alltoall(1 MiB) at {n} nodes, HyperX plane\n");

@@ -18,7 +18,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn study(name: &str, mk_topo: impl Fn() -> hxtopo::Topology, engine: impl Fn() -> Box<dyn RoutingEngine>) {
+fn study(
+    name: &str,
+    mk_topo: impl Fn() -> hxtopo::Topology,
+    engine: impl Fn() -> Box<dyn RoutingEngine>,
+) {
     let n = 224;
     let mut sm = SubnetManager::new(mk_topo(), engine());
     sm.verify = false; // throughput study; correctness covered by tests
@@ -60,8 +64,12 @@ fn study(name: &str, mk_topo: impl Fn() -> hxtopo::Topology, engine: impl Fn() -
 }
 
 fn main() {
+    let _obs = hxbench::obs_scope("fault_resilience");
     println!("# Fail-in-place: eBB [GiB/s] at 224 nodes vs cables killed\n");
-    println!("{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}", "engine", 0, 32, 64, 96, 128);
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "engine", 0, 32, 64, 96, 128
+    );
     study(
         "Fat-Tree ftree",
         || FatTreeConfig::tsubame2(672),

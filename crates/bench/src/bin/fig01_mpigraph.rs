@@ -11,10 +11,14 @@ use hxcore::Combo;
 use hxload::mpigraph::{average_bandwidth, mpigraph};
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig01_mpigraph");
     let sys = build_full();
     let n = 28;
     let bytes = 1u64 << 20;
-    println!("# Figure 1: mpiGraph, {n} nodes, {} MiB streams", bytes >> 20);
+    println!(
+        "# Figure 1: mpiGraph, {n} nodes, {} MiB streams",
+        bytes >> 20
+    );
     println!("# paper: FT/ftree 2.26 GiB/s | HX/DFSSSP 0.84 GiB/s | HX/PARX 1.39 GiB/s\n");
 
     let mut parx_avg = 0.0;

@@ -21,11 +21,15 @@ fn show(name: &str, t: &hxtopo::Topology) {
 }
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig02_topologies");
     println!("# Figure 2: topology structure\n");
 
     println!("## Textbook examples (Fig. 2a / 2b)");
     show("4-ary 2-tree", &FatTreeConfig::k_ary_n_tree(4, 2));
-    show("4x4 HyperX (T=2)", &HyperXConfig::new(vec![4, 4], 2).build());
+    show(
+        "4x4 HyperX (T=2)",
+        &HyperXConfig::new(vec![4, 4], 2).build(),
+    );
 
     println!("\n## Production planes (Sec. 2.3), pristine");
     let ft = FatTreeConfig::tsubame2(672);
@@ -39,10 +43,9 @@ fn main() {
     let rm_ft = FaultPlan::t2_fattree().apply(&mut ftf);
     let mut hxf = HyperXConfig::t2_hyperx(672).build();
     let rm_hx = FaultPlan::t2_hyperx().apply(&mut hxf);
-    show(
-        &format!("Fat-Tree (-{} cables)", rm_ft.len()),
-        &ftf,
-    );
+    show(&format!("Fat-Tree (-{} cables)", rm_ft.len()), &ftf);
     show(&format!("HyperX (-{} AOCs)", rm_hx.len()), &hxf);
-    println!("paper: 15/684 HyperX AOCs absent; 197/2662 Fat-Tree links absent (fraction preserved)");
+    println!(
+        "paper: 15/684 HyperX AOCs absent; 197/2662 Fat-Tree links absent (fraction preserved)"
+    );
 }

@@ -10,6 +10,7 @@ use hxload::imb::ImbCollective;
 use rayon::prelude::*;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig04_imb_collectives");
     let sys = build_full();
     let counts = series7();
 

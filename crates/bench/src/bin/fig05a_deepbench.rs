@@ -9,6 +9,7 @@ use hxload::deepbench::{allreduce_latency, deepbench_lengths};
 use rayon::prelude::*;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig05a_deepbench");
     let sys = build_full();
     let counts = series7();
     let lengths = deepbench_lengths();

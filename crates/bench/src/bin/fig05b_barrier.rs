@@ -8,6 +8,7 @@ use hxcore::{Combo, Runner};
 use hxload::imb::ImbCollective;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig05b_barrier");
     let sys = build_full();
     let runner = Runner::default();
     let counts = series7();

@@ -12,13 +12,16 @@ use hxload::ebb::{effective_bisection_bandwidth, EBB_BYTES};
 use hxsim::Whisker;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig05c_ebb");
     let sys = build_full();
     let samples = ebb_samples();
     // The paper's mixed series: switch-aligned and power-of-two counts.
     let counts: Vec<usize> = if quick() {
         vec![14, 16, 64, 112]
     } else {
-        vec![4, 7, 8, 14, 16, 28, 32, 56, 64, 112, 128, 224, 256, 448, 512, 672]
+        vec![
+            4, 7, 8, 14, 16, 28, 32, 56, 64, 112, 128, 224, 256, 448, 512, 672,
+        ]
     };
 
     println!("# Figure 5c: effective bisection bandwidth [GiB/s], {samples} samples, 1 MiB\n");
@@ -37,7 +40,10 @@ fn main() {
             } else {
                 0.0
             };
-            println!("  n={n:>4}  gain {gain:+.2}  {}", fmt_whisker(Some(w), "GiB/s"));
+            println!(
+                "  n={n:>4}  gain {gain:+.2}  {}",
+                fmt_whisker(Some(w), "GiB/s")
+            );
         }
         println!();
     }

@@ -8,6 +8,7 @@ use hxcore::{Combo, Runner};
 use hxload::proxy::all_proxies;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig06_proxy_apps");
     let sys = build_full();
     let runner = Runner::default();
 
@@ -16,7 +17,10 @@ fn main() {
         if quick() {
             counts = counts.into_iter().step_by(3).collect();
         }
-        println!("# Figure 6 — {} (kernel runtime [s], lower is better)", w.name());
+        println!(
+            "# Figure 6 — {} (kernel runtime [s], lower is better)",
+            w.name()
+        );
         for combo in Combo::all() {
             println!("## {}", combo.label());
             for &n in &counts {

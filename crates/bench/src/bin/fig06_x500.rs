@@ -7,6 +7,7 @@ use hxcore::{Combo, Runner};
 use hxload::x500::all_x500;
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig06_x500");
     let sys = build_full();
     let runner = Runner::default();
 
@@ -24,7 +25,9 @@ fn main() {
             println!("## {}", combo.label());
             for &n in &counts {
                 let s = runner.run(&sys, combo, w.as_ref(), n);
-                let base = runner.run(&sys, Combo::baseline(), w.as_ref(), n).best(true);
+                let base = runner
+                    .run(&sys, Combo::baseline(), w.as_ref(), n)
+                    .best(true);
                 let gain = match (base, s.best(true)) {
                     (Some(b), Some(v)) => format!("{:+.2}", v / b - 1.0),
                     (Some(_), None) => "-Inf".into(),

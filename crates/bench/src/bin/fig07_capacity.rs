@@ -11,11 +11,12 @@ use hxcap::{paper_mix, CapacityConfig};
 use hxcore::{run_capacity_combo, Combo};
 
 fn main() {
+    let _obs = hxbench::obs_scope("fig07_capacity");
     let sys = build_full();
     let cfg = CapacityConfig::default();
 
     println!("# Figure 7: completed runs per application in 3 h (664 nodes, 14 apps)\n");
-    
+
     let mut totals = Vec::new();
     for combo in Combo::all() {
         let mix = paper_mix();

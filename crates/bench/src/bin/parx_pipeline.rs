@@ -10,6 +10,7 @@ use hxload::proxy::{Qball, Swfft};
 use hxload::workload::Workload;
 
 fn main() {
+    let _obs = hxbench::obs_scope("parx_pipeline");
     let mut sys = T2hx::build(672, true).expect("system routes");
     let combo = Combo::HxParxClustered;
     let n = 112;

@@ -5,8 +5,16 @@
 //! ```sh
 //! cargo run --release -p hxbench --bin run_all
 //! T2HX_QUICK=1 cargo run --release -p hxbench --bin run_all   # smoke run
+//! T2HX_OBS=1 cargo run --release -p hxbench --bin run_all     # + telemetry
 //! ```
+//!
+//! A failing harness leaves its stderr in `results/<name>.stderr.txt`.
+//! Per-harness wall time and exit status land in
+//! `results/obs/manifest.json`; with `T2HX_OBS=1` each harness additionally
+//! exports `results/obs/<name>.metrics.jsonl` and a Perfetto-loadable
+//! `results/obs/<name>.trace.json`.
 
+use hxobs::Json;
 use std::fs;
 use std::process::Command;
 
@@ -31,29 +39,73 @@ const HARNESSES: &[&str] = &[
 
 fn main() {
     fs::create_dir_all("results").expect("create results/");
+    let obs = hxobs::env_requested();
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("bin directory");
     let mut failures = 0usize;
+    let mut entries: Vec<Json> = Vec::new();
     for name in HARNESSES {
         let t0 = std::time::Instant::now();
         print!("{name:<24} ... ");
         use std::io::Write;
         std::io::stdout().flush().ok();
+        // Children inherit the environment, so T2HX_OBS / T2HX_QUICK
+        // propagate and each harness exports its own obs artefacts.
         let out = Command::new(exe_dir.join(name))
             .output()
             .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        let wall = t0.elapsed();
         let path = format!("results/{name}.txt");
         fs::write(&path, &out.stdout).expect("write result");
+        let stderr_path = format!("results/{name}.stderr.txt");
         if out.status.success() {
-            println!("ok ({:.1?}) -> {path}", t0.elapsed());
+            // Stale stderr from an earlier failing run would mislead.
+            fs::remove_file(&stderr_path).ok();
+            println!("ok ({wall:.1?}) -> {path}");
         } else {
             failures += 1;
-            println!("FAILED ({:?})", out.status);
+            fs::write(&stderr_path, &out.stderr).expect("write stderr");
+            println!("FAILED ({:?}) -> {stderr_path}", out.status);
             eprintln!("{}", String::from_utf8_lossy(&out.stderr));
         }
+        let mut fields = vec![
+            ("name", Json::str(*name)),
+            ("ok", Json::from(out.status.success())),
+            (
+                "exit_code",
+                out.status
+                    .code()
+                    .map(|c| Json::from(c as i64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("wall_seconds", Json::from(wall.as_secs_f64())),
+            ("stdout", Json::str(path)),
+        ];
+        if !out.status.success() {
+            fields.push(("stderr", Json::str(stderr_path)));
+        }
+        if obs {
+            fields.push((
+                "metrics",
+                Json::str(format!("results/obs/{name}.metrics.jsonl")),
+            ));
+            fields.push(("trace", Json::str(format!("results/obs/{name}.trace.json"))));
+        }
+        entries.push(Json::obj(fields));
     }
+
+    let manifest = Json::obj([
+        ("obs_enabled", Json::from(obs)),
+        ("quick", Json::from(hxbench::quick())),
+        ("harnesses", Json::Arr(entries)),
+        ("failures", Json::from(failures)),
+    ]);
+    fs::create_dir_all("results/obs").expect("create results/obs/");
+    fs::write("results/obs/manifest.json", manifest.to_string()).expect("write manifest");
+    println!("manifest -> results/obs/manifest.json");
+
     if failures > 0 {
         eprintln!("{failures} harness(es) failed");
         std::process::exit(1);

@@ -32,6 +32,7 @@ fn print_table(size: SizeClass, title: &str) {
 }
 
 fn main() {
+    let _obs = hxbench::obs_scope("tab01_quadrants");
     println!("# Table 1: virtual destination LID x by quadrant pair and size\n");
     print_table(SizeClass::Small, "(a) x for small messages (< 512 B)");
     print_table(SizeClass::Large, "(b) x for large messages (>= 512 B)");

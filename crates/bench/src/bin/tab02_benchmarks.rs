@@ -5,6 +5,7 @@ use hxload::registry::{registry, BenchClass};
 use hxload::workload::Scaling;
 
 fn main() {
+    let _obs = hxbench::obs_scope("tab02_benchmarks");
     println!("# Table 2: applications/benchmarks, MPI functions, scaling, metrics\n");
     for class in [BenchClass::PureMpi, BenchClass::App, BenchClass::X500] {
         let header = match class {

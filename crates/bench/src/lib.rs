@@ -28,6 +28,33 @@ pub fn quick() -> bool {
     std::env::var("T2HX_QUICK").is_ok_and(|v| v != "0")
 }
 
+/// Observability scope for a harness binary: when `T2HX_OBS=1`, installs
+/// the global [`hxobs`] sink on creation and exports
+/// `results/obs/<name>.metrics.jsonl` + `results/obs/<name>.trace.json`
+/// on drop. When observability is off this is a no-op.
+///
+/// First line of every harness `main`:
+///
+/// ```no_run
+/// let _obs = hxbench::obs_scope("fig05b_barrier");
+/// // ... harness body ...
+/// ```
+pub struct ObsScope(String);
+
+/// Creates an [`ObsScope`] named after the harness.
+pub fn obs_scope(name: &str) -> ObsScope {
+    hxobs::init_from_env();
+    ObsScope(name.to_string())
+}
+
+impl Drop for ObsScope {
+    fn drop(&mut self) {
+        if let Some((m, t)) = hxobs::finalize(&self.0) {
+            eprintln!("# obs: wrote {} and {}", m.display(), t.display());
+        }
+    }
+}
+
 /// eBB sample count (paper: 1000).
 pub fn ebb_samples() -> usize {
     std::env::var("T2HX_SAMPLES")

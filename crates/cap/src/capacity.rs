@@ -283,7 +283,15 @@ mod tests {
             noise: NoiseModel::none(),
             ..CapacityConfig::default()
         };
-        let res = run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &cfg);
+        let res = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &cfg,
+        );
         // Solo run of the same first app: more runs than under interference
         // (or equal if links never overlap).
         let solo = run_capacity(
@@ -304,8 +312,24 @@ mod tests {
         let r = Dfsssp::default().route(&t).unwrap();
         let pool: Vec<NodeId> = t.nodes().collect();
         let cfg = CapacityConfig::default();
-        let a = run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &cfg);
-        let b = run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &cfg);
+        let a = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &cfg,
+        );
+        let b = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &cfg,
+        );
         let ra: Vec<u32> = a.apps.iter().map(|x| x.runs).collect();
         let rb: Vec<u32> = b.apps.iter().map(|x| x.runs).collect();
         assert_eq!(ra, rb);
@@ -321,7 +345,15 @@ mod tests {
             burst_factor: 0.0,
             ..CapacityConfig::default()
         };
-        let res = run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &cfg);
+        let res = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &cfg,
+        );
         for a in &res.apps {
             assert!(
                 (a.interfered - a.standalone).abs() < a.standalone * 1e-9,
@@ -343,9 +375,24 @@ mod tests {
             burst_factor: bf,
             ..CapacityConfig::default()
         };
-        let low = run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &mk(1.0));
-        let high =
-            run_capacity(&t, &r, Pml::Ob1, NetParams::qdr(), &pool, &small_mix(), &mk(20.0));
+        let low = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &mk(1.0),
+        );
+        let high = run_capacity(
+            &t,
+            &r,
+            Pml::Ob1,
+            NetParams::qdr(),
+            &pool,
+            &small_mix(),
+            &mk(20.0),
+        );
         for (a, b) in low.apps.iter().zip(&high.apps) {
             assert!(b.interfered >= a.interfered * 0.999, "{}", a.name);
             assert!(b.runs <= a.runs + 1, "{}", a.name);

@@ -76,6 +76,9 @@ fn tag(combo: Combo, name: &str, n: usize, bytes: u64) -> u64 {
 impl Runner {
     /// Runs a workload at `n` ranks under a combo.
     pub fn run(&self, sys: &T2hx, combo: Combo, w: &dyn Workload, n: usize) -> Samples {
+        let obs = hxobs::sink();
+        let wall0 = std::time::Instant::now();
+        let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
         let fabric = sys.fabric(combo, n, self.placement_seed);
         let base = w.kernel_seconds(&fabric, n);
         let t = tag(combo, w.name(), n, 0);
@@ -87,6 +90,38 @@ impl Runner {
                 values.push(w.metric_value(n, time));
                 times.push(time);
             }
+        }
+        if let Some(o) = &obs {
+            use hxobs::Recorder;
+            o.counter_add("core.runs", 1);
+            o.counter_add("core.reps", self.reps as u64);
+            o.counter_add(
+                "core.walltime_dropped_reps",
+                self.reps as u64 - values.len() as u64,
+            );
+            for &kt in &times {
+                o.histogram_record("core.rep_kernel_seconds", kt);
+            }
+            o.tracer
+                .name_process(hxobs::track::RUNNER, "experiment runner");
+            o.span(
+                hxobs::track::RUNNER,
+                0,
+                &format!("run:{}:{}:n{}", combo.label(), w.name(), n),
+                "core",
+                start_us,
+                wall0.elapsed().as_secs_f64() * 1e6,
+                vec![
+                    ("combo".to_string(), hxobs::Json::from(combo.label())),
+                    ("workload".to_string(), hxobs::Json::from(w.name())),
+                    ("ranks".to_string(), hxobs::Json::from(n)),
+                    ("completed".to_string(), hxobs::Json::from(values.len())),
+                    (
+                        "dropped".to_string(),
+                        hxobs::Json::from(self.reps as u64 - values.len() as u64),
+                    ),
+                ],
+            );
         }
         Samples {
             values,
@@ -220,9 +255,7 @@ mod tests {
         let mut r = runner();
         r.noise = NoiseModel::none();
         let w = Hpl { steps: 4 };
-        let g = r
-            .workload_gain(&sys, Combo::baseline(), &w, 16)
-            .unwrap();
+        let g = r.workload_gain(&sys, Combo::baseline(), &w, 16).unwrap();
         assert!(g.abs() < 1e-12, "{g}");
     }
 
@@ -253,7 +286,13 @@ mod tests {
     fn imb_whisker_ordering() {
         let sys = T2hx::mini().unwrap();
         let r = runner();
-        let w = r.imb_whisker_us(&sys, Combo::FtFtreeLinear, ImbCollective::Allreduce, 16, 4096);
+        let w = r.imb_whisker_us(
+            &sys,
+            Combo::FtFtreeLinear,
+            ImbCollective::Allreduce,
+            16,
+            4096,
+        );
         assert!(w.min <= w.median && w.median <= w.max);
     }
 }

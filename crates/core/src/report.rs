@@ -32,7 +32,12 @@ pub fn gain_grid(
         out.push_str(&format!("{c:>7}"));
     }
     out.push('\n');
-    out.push_str(&format!("{:-<10}-+{:-<width$}\n", "", "", width = 7 * cols.len()));
+    out.push_str(&format!(
+        "{:-<10}-+{:-<width$}\n",
+        "",
+        "",
+        width = 7 * cols.len()
+    ));
     for (r, row) in rows.iter().zip(cells) {
         assert_eq!(row.len(), cols.len());
         out.push_str(&format!("{r:>10} |"));

@@ -50,14 +50,59 @@ impl T2hx {
             nodes_per_leaf: 4,
             total_nodes: 32,
             stages: vec![
-                Stage { count: 8, uplinks: 6 },
-                Stage { count: 6, uplinks: 4 },
-                Stage { count: 4, uplinks: 0 },
+                Stage {
+                    count: 8,
+                    uplinks: 6,
+                },
+                Stage {
+                    count: 6,
+                    uplinks: 4,
+                },
+                Stage {
+                    count: 4,
+                    uplinks: 0,
+                },
             ],
         }
         .staged();
         let hyperx = HyperXConfig::new(vec![4, 4], 2).build();
         Self::assemble(fattree, hyperx)
+    }
+
+    /// Routes one plane with wall-time + table-size telemetry (spans land
+    /// on the OpenSM wall-clock track next to `SubnetManager` sweeps).
+    fn route_plane(engine: &dyn RoutingEngine, topo: &Topology) -> Result<Routes, RouteError> {
+        let obs = hxobs::sink();
+        let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
+        let wall0 = std::time::Instant::now();
+        let routes = engine.route(topo)?;
+        if let Some(o) = &obs {
+            use hxobs::Recorder;
+            o.counter_add("route.engine_runs", 1);
+            o.histogram_record(
+                &format!("route.engine_seconds.{}", engine.name()),
+                wall0.elapsed().as_secs_f64(),
+            );
+            o.tracer.name_process(hxobs::track::OPENSM, "opensm");
+            o.span(
+                hxobs::track::OPENSM,
+                0,
+                &format!("route:{}:{}", engine.name(), topo.name()),
+                "route",
+                start_us,
+                wall0.elapsed().as_secs_f64() * 1e6,
+                vec![
+                    ("engine".to_string(), hxobs::Json::from(engine.name())),
+                    ("topology".to_string(), hxobs::Json::from(topo.name())),
+                    ("vls".to_string(), hxobs::Json::from(routes.num_vls as u64)),
+                    (
+                        "lft_entries".to_string(),
+                        hxobs::Json::from(routes.num_lft_entries()),
+                    ),
+                ],
+            );
+        }
+        Ok(routes)
     }
 
     fn assemble(fattree: Topology, hyperx: Topology) -> Result<T2hx, RouteError> {
@@ -66,10 +111,10 @@ impl T2hx {
             hyperx.num_nodes(),
             "dual-plane system needs matching node counts"
         );
-        let ft_ftree = Ftree.route(&fattree)?;
-        let ft_sssp = Sssp::default().route(&fattree)?;
-        let hx_dfsssp = Dfsssp::default().route(&hyperx)?;
-        let hx_parx = Parx::default().route(&hyperx)?;
+        let ft_ftree = Self::route_plane(&Ftree, &fattree)?;
+        let ft_sssp = Self::route_plane(&Sssp::default(), &fattree)?;
+        let hx_dfsssp = Self::route_plane(&Dfsssp::default(), &hyperx)?;
+        let hx_parx = Self::route_plane(&Parx::default(), &hyperx)?;
         Ok(T2hx {
             fattree,
             hyperx,
@@ -109,7 +154,7 @@ impl T2hx {
     /// (the SAR-style interface between job submission and OpenSM,
     /// Section 4.4.3).
     pub fn reroute_parx(&mut self, demand: Demand) -> Result<(), RouteError> {
-        self.hx_parx = Parx::with_demand(demand).route(&self.hyperx)?;
+        self.hx_parx = Self::route_plane(&Parx::with_demand(demand), &self.hyperx)?;
         Ok(())
     }
 

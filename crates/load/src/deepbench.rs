@@ -9,18 +9,7 @@ use hxmpi::{estimate, Fabric};
 /// The array lengths (in 4-byte floats) of the paper's Figure 5a rows.
 pub fn deepbench_lengths() -> Vec<u64> {
     vec![
-        0,
-        32,
-        256,
-        1024,
-        4096,
-        16384,
-        65536,
-        262144,
-        1048576,
-        8388608,
-        67108864,
-        536870912,
+        0, 32, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 8388608, 67108864, 536870912,
     ]
 }
 

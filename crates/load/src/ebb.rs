@@ -61,10 +61,7 @@ pub fn effective_bisection_bandwidth(
             }
             let refs: Vec<&[DirLink]> = paths.iter().map(|p| p.as_slice()).collect();
             let rates = max_min_rates(&caps, &refs);
-            let bw_sum: f64 = rates
-                .iter()
-                .map(|&r| r / (1u64 << 30) as f64)
-                .sum();
+            let bw_sum: f64 = rates.iter().map(|&r| r / (1u64 << 30) as f64).sum();
             bw_sum / rates.len() as f64
         })
         .collect()

@@ -219,7 +219,13 @@ mod tests {
 
     fn fabric<'a>(t: &'a Topology, r: &'a Routes, n: usize) -> Fabric<'a> {
         let nodes: Vec<NodeId> = t.nodes().collect();
-        Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+        Fabric::new(
+            t,
+            r,
+            Placement::linear(&nodes, n),
+            Pml::Ob1,
+            NetParams::qdr(),
+        )
     }
 
     #[test]
@@ -227,7 +233,10 @@ mod tests {
         assert_eq!(ImbCollective::Bcast.message_sizes().len(), 23); // 1..4Mi
         assert_eq!(ImbCollective::Allreduce.message_sizes().len(), 21); // 4..4Mi
         assert_eq!(ImbCollective::Barrier.message_sizes(), vec![0]);
-        assert_eq!(*ImbCollective::Alltoall.message_sizes().last().unwrap(), 4 << 20);
+        assert_eq!(
+            *ImbCollective::Alltoall.message_sizes().last().unwrap(),
+            4 << 20
+        );
     }
 
     #[test]

@@ -26,9 +26,10 @@ pub fn mpigraph(fabric: &Fabric<'_>, n: usize, bytes: u64) -> BandwidthMatrix {
             let j = (i + k) % n;
             let sn = fabric.placement.node(i);
             let dn = fabric.placement.node(j);
-            let lid = fabric
-                .pml
-                .select_lid_index(fabric.topo, fabric.routes, sn, dn, bytes, k as u64);
+            let lid =
+                fabric
+                    .pml
+                    .select_lid_index(fabric.topo, fabric.routes, sn, dn, bytes, k as u64);
             specs.push(FlowSpec {
                 path: fabric.node_path(sn, dn, lid).to_vec(),
                 bytes,

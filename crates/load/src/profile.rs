@@ -131,8 +131,7 @@ mod tests {
         let mut rp = RoundProgram::new(2);
         rp.exchange(vec![(0, 1, 777)]);
         let p = RankProfile::record(&rp);
-        let placement =
-            Placement::explicit(vec![NodeId(9), NodeId(3)], "test");
+        let placement = Placement::explicit(vec![NodeId(9), NodeId(3)], "test");
         let d = p.bind(&placement, 12);
         assert_eq!(d.sends(NodeId(9)), &[(NodeId(3), 777)]);
         assert!(d.sends(NodeId(3)).is_empty());

@@ -458,7 +458,13 @@ mod tests {
 
     fn fabric<'a>(t: &'a Topology, r: &'a Routes, n: usize) -> Fabric<'a> {
         let nodes: Vec<NodeId> = t.nodes().collect();
-        Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+        Fabric::new(
+            t,
+            r,
+            Placement::linear(&nodes, n),
+            Pml::Ob1,
+            NetParams::qdr(),
+        )
     }
 
     #[test]

@@ -39,7 +39,15 @@ pub fn registry() -> Vec<BenchInfo> {
         BenchInfo {
             name: "IMB",
             class: PureMpi,
-            mpi_functions: &["Allreduce", "Reduce", "Alltoall", "Barrier", "Bcast", "Gather", "Scatter"],
+            mpi_functions: &[
+                "Allreduce",
+                "Reduce",
+                "Alltoall",
+                "Barrier",
+                "Bcast",
+                "Gather",
+                "Scatter",
+            ],
             scaling: Weak,
             metric: "Latency t_min [us]",
         },
@@ -60,7 +68,16 @@ pub fn registry() -> Vec<BenchInfo> {
         BenchInfo {
             name: "AMG",
             class: App,
-            mpi_functions: &["Send", "Isend", "Recv", "Irecv", "Allgather", "Allgatherv", "Allreduce", "Bcast"],
+            mpi_functions: &[
+                "Send",
+                "Isend",
+                "Recv",
+                "Irecv",
+                "Allgather",
+                "Allgatherv",
+                "Allreduce",
+                "Bcast",
+            ],
             scaling: Weak,
             metric: "Kernel runtime [s]",
         },
@@ -95,7 +112,16 @@ pub fn registry() -> Vec<BenchInfo> {
         BenchInfo {
             name: "mVMC",
             class: App,
-            mpi_functions: &["Send", "Isend", "Sendrecv", "Recv", "Reduce", "Allreduce", "Bcast", "Scatter"],
+            mpi_functions: &[
+                "Send",
+                "Isend",
+                "Sendrecv",
+                "Recv",
+                "Reduce",
+                "Allreduce",
+                "Bcast",
+                "Scatter",
+            ],
             scaling: Weak,
             metric: "Kernel runtime [s]",
         },
@@ -116,7 +142,17 @@ pub fn registry() -> Vec<BenchInfo> {
         BenchInfo {
             name: "Qbox",
             class: App,
-            mpi_functions: &["Send", "Isend", "Rsend", "Recv", "Irecv", "Reduce", "Allreduce", "Alltoallv", "Bcast"],
+            mpi_functions: &[
+                "Send",
+                "Isend",
+                "Rsend",
+                "Recv",
+                "Irecv",
+                "Reduce",
+                "Allreduce",
+                "Alltoallv",
+                "Bcast",
+            ],
             scaling: WeakReduced,
             metric: "Kernel runtime [s]",
         },
@@ -130,14 +166,29 @@ pub fn registry() -> Vec<BenchInfo> {
         BenchInfo {
             name: "HPCG",
             class: X500,
-            mpi_functions: &["Send", "Irecv", "Allreduce", "Alltoall", "Alltoallv", "Barrier", "Bcast"],
+            mpi_functions: &[
+                "Send",
+                "Irecv",
+                "Allreduce",
+                "Alltoall",
+                "Alltoallv",
+                "Barrier",
+                "Bcast",
+            ],
             scaling: Weak,
             metric: "Floating-point Op/s",
         },
         BenchInfo {
             name: "GraD",
             class: X500,
-            mpi_functions: &["Isend", "Irecv", "Allgather", "Allreduce", "Reduce", "Reduce_scatter"],
+            mpi_functions: &[
+                "Isend",
+                "Irecv",
+                "Allgather",
+                "Allreduce",
+                "Reduce",
+                "Reduce_scatter",
+            ],
             scaling: Weak,
             metric: "Traversed edges/s",
         },
@@ -153,7 +204,10 @@ mod tests {
         // 3 pure-MPI + 9 apps + 3 x500.
         let r = registry();
         assert_eq!(r.len(), 15);
-        assert_eq!(r.iter().filter(|b| b.class == BenchClass::PureMpi).count(), 3);
+        assert_eq!(
+            r.iter().filter(|b| b.class == BenchClass::PureMpi).count(),
+            3
+        );
         assert_eq!(r.iter().filter(|b| b.class == BenchClass::App).count(), 9);
         assert_eq!(r.iter().filter(|b| b.class == BenchClass::X500).count(), 3);
     }

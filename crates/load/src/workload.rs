@@ -51,7 +51,10 @@ pub enum MetricKind {
 impl MetricKind {
     /// Direction of improvement.
     pub fn higher_is_better(self) -> bool {
-        matches!(self, MetricKind::Gflops | MetricKind::Gteps | MetricKind::Throughput)
+        matches!(
+            self,
+            MetricKind::Gflops | MetricKind::Gteps | MetricKind::Throughput
+        )
     }
 }
 

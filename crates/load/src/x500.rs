@@ -215,9 +215,8 @@ impl Workload for Graph500 {
         // Compressed frontier bitmaps shared along each row.
         let bitmap_pair = ((EDGES_PER_RANK / 16.0 / 8.0) as u64 / dims[0] as u64).max(1);
         // Edge-target exchange along columns, spread over the levels.
-        let edge_pair = ((EDGES_PER_RANK * 4.0 / self.levels as f64) as u64
-            / dims[1].max(1) as u64)
-            .max(1);
+        let edge_pair =
+            ((EDGES_PER_RANK * 4.0 / self.levels as f64) as u64 / dims[1].max(1) as u64).max(1);
         let mut rp = RoundProgram::new(n);
         for _ in 0..self.levels {
             rp.alltoall_concurrent(&rows, bitmap_pair);
@@ -260,14 +259,24 @@ mod tests {
 
     fn fabric<'a>(t: &'a Topology, r: &'a Routes, n: usize) -> Fabric<'a> {
         let nodes: Vec<NodeId> = t.nodes().collect();
-        Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+        Fabric::new(
+            t,
+            r,
+            Placement::linear(&nodes, n),
+            Pml::Ob1,
+            NetParams::qdr(),
+        )
     }
 
     #[test]
     fn hpl_memory_rule() {
         let h = Hpl::default();
         // 1 GiB/proc below 224 nodes: N = sqrt(56 * 2^30 / 8) ~ 86,690.
-        assert!((h.matrix_n(56) as i64 - 86_690).abs() < 10, "{}", h.matrix_n(56));
+        assert!(
+            (h.matrix_n(56) as i64 - 86_690).abs() < 10,
+            "{}",
+            h.matrix_n(56)
+        );
         // The 0.25 GiB rule at 224 lands on the same N as 56 full nodes.
         assert_eq!(h.matrix_n(224), h.matrix_n(56));
         assert!(h.matrix_n(224) < h.matrix_n(112));

@@ -63,6 +63,10 @@ impl ScheduleBuilder {
 
     /// Finishes the schedule.
     pub fn build(self) -> Program {
+        if hxobs::enabled() {
+            hxobs::count("mpi.programs", 1);
+            hxobs::observe("mpi.msgs_per_program", self.prog.num_messages() as f64);
+        }
         self.prog
     }
 
@@ -496,7 +500,10 @@ impl ScheduleBuilder {
     /// IMB Multi-PingPong: ranks `i` and `i + n/2` exchange concurrently.
     pub fn multi_pingpong(&mut self, bytes: u64, iters: usize) {
         let n = self.n();
-        assert!(n >= 2 && n.is_multiple_of(2), "multi-pingpong needs even ranks");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "multi-pingpong needs even ranks"
+        );
         let half = n / 2;
         for _ in 0..iters {
             let tag0 = self.claim_tags(2);
@@ -680,7 +687,7 @@ mod tests {
         b.alltoall_bruck(64);
         let p = b.build();
         assert_eq!(p.num_messages(), n * 3); // log2(8) rounds
-        // Each round carries n/2 blocks.
+                                             // Each round carries n/2 blocks.
         for ops in &p.ops {
             for o in ops {
                 if let Op::Send { bytes, .. } = o {

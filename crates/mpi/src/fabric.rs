@@ -76,6 +76,19 @@ impl<'a> Fabric<'a> {
 
 impl PathResolver for Fabric<'_> {
     fn resolve(&self, src: usize, dst: usize, bytes: u64, seq: u64) -> ResolvedPath {
+        if hxobs::enabled() {
+            // Bytes by PML class: the paper's ob1-vs-bfo comparison hinges
+            // on how much traffic pays the bfo software penalty.
+            hxobs::count(
+                if self.pml.is_bfo() {
+                    "mpi.bytes.bfo"
+                } else {
+                    "mpi.bytes.ob1"
+                },
+                bytes,
+            );
+            hxobs::count("mpi.messages", 1);
+        }
         let sn = self.placement.node(src);
         let dn = self.placement.node(dst);
         if sn == dn {
@@ -200,6 +213,9 @@ mod tests {
                 }
             }
         }
-        assert!(found, "some same-quadrant pair must detour for large messages");
+        assert!(
+            found,
+            "some same-quadrant pair must detour for large messages"
+        );
     }
 }

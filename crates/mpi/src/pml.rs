@@ -126,9 +126,7 @@ mod tests {
                 }
                 let sq = hx.quadrant(t.node_switch(src).0);
                 let dq = hx.quadrant(t.node_switch(dst).0);
-                for (bytes, class) in
-                    [(64u64, SizeClass::Small), (1 << 16, SizeClass::Large)]
-                {
+                for (bytes, class) in [(64u64, SizeClass::Small), (1 << 16, SizeClass::Large)] {
                     for seq in 0..3 {
                         let x = pml.select_lid_index(&t, &r, src, dst, bytes, seq);
                         assert!(

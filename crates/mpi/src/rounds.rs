@@ -79,62 +79,93 @@ impl RoundProgram {
         (0..self.n).collect()
     }
 
+    /// Records rounds-per-collective when observability is on.
+    fn record(&self, name: &str, phases_before: usize) {
+        if hxobs::enabled() {
+            hxobs::count("mpi.collectives", 1);
+            hxobs::observe(
+                &format!("mpi.rounds_per_collective.{name}"),
+                (self.phases.len() - phases_before) as f64,
+            );
+        }
+    }
+
     // ----- collectives over the full communicator -----
 
     /// Dissemination barrier.
     pub fn barrier(&mut self) {
+        let before = self.phases.len();
         self.barrier_among(&self.all());
+        self.record("barrier", before);
     }
 
     /// Binomial (or van de Geijn for large payloads) broadcast.
     pub fn bcast(&mut self, root: usize, bytes: u64) {
+        let before = self.phases.len();
         self.bcast_among(&self.all(), root, bytes);
+        self.record("bcast", before);
     }
 
     /// Binomial gather of `bytes` per rank.
     pub fn gather(&mut self, root: usize, bytes: u64) {
+        let before = self.phases.len();
         self.gather_among(&self.all(), root, bytes);
+        self.record("gather", before);
     }
 
     /// Binomial scatter of `bytes` per rank.
     pub fn scatter(&mut self, root: usize, bytes: u64) {
+        let before = self.phases.len();
         self.scatter_among(&self.all(), root, bytes);
+        self.record("scatter", before);
     }
 
     /// Binomial reduce.
     pub fn reduce(&mut self, root: usize, bytes: u64) {
+        let before = self.phases.len();
         self.reduce_among(&self.all(), root, bytes);
+        self.record("reduce", before);
     }
 
     /// Allreduce with the same algorithm selection as [`crate::coll`].
     pub fn allreduce(&mut self, bytes: u64) {
+        let before = self.phases.len();
         self.allreduce_among(&self.all(), bytes);
+        self.record("allreduce", before);
     }
 
     /// Ring allreduce (Baidu DeepBench).
     pub fn allreduce_ring(&mut self, bytes: u64) {
+        let before = self.phases.len();
         self.allreduce_ring_among(&self.all(), bytes);
+        self.record("allreduce_ring", before);
     }
 
     /// Allgather.
     pub fn allgather(&mut self, bytes: u64) {
+        let before = self.phases.len();
         self.allgather_among(&self.all(), bytes);
+        self.record("allgather", before);
     }
 
     /// Alltoall with Bruck/pairwise selection.
     pub fn alltoall(&mut self, bytes: u64) {
+        let before = self.phases.len();
         self.alltoall_among(&self.all(), bytes);
+        self.record("alltoall", before);
     }
 
     /// IMB Multi-PingPong: one iteration (ping + pong) of concurrent pairs
     /// `(i, i + n/2)`.
     pub fn multi_pingpong(&mut self, bytes: u64) {
+        let before = self.phases.len();
         let half = self.n / 2;
         assert!(half >= 1, "multi-pingpong needs >= 2 ranks");
         let ping: Vec<Msg> = (0..half).map(|i| (i, i + half, bytes)).collect();
         let pong: Vec<Msg> = (0..half).map(|i| (i + half, i, bytes)).collect();
         self.exchange(ping);
         self.exchange(pong);
+        self.record("multi_pingpong", before);
     }
 
     // ----- subgroup collectives -----
@@ -165,7 +196,10 @@ impl RoundProgram {
             self.allgather_ring_among(g, chunk);
             return;
         }
-        let ri = g.iter().position(|&r| r == root).expect("root not in group");
+        let ri = g
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
         // Round k: ranks vr < 2^k send to vr + 2^k.
         let mut k = 0usize;
         while (1 << k) < m {
@@ -187,7 +221,10 @@ impl RoundProgram {
         if m < 2 {
             return;
         }
-        let ri = g.iter().position(|&r| r == root).expect("root not in group");
+        let ri = g
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
         // Round k: ranks with bit k set and lower bits clear send their
         // subtree (size min(2^k, m - vr)) to vr - 2^k.
         let mut k = 0usize;
@@ -213,7 +250,10 @@ impl RoundProgram {
         if m < 2 {
             return;
         }
-        let ri = g.iter().position(|&r| r == root).expect("root not in group");
+        let ri = g
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
         // Mirror of gather: rounds in decreasing mask order.
         let top = m.next_power_of_two() >> 1;
         let mut d = top;
@@ -242,7 +282,10 @@ impl RoundProgram {
         if m < 2 {
             return;
         }
-        let ri = g.iter().position(|&r| r == root).expect("root not in group");
+        let ri = g
+            .iter()
+            .position(|&r| r == root)
+            .expect("root not in group");
         let mut k = 0usize;
         while (1 << k) < m {
             let d = 1usize << k;
@@ -330,7 +373,11 @@ impl RoundProgram {
             return;
         }
         for _ in 0..m - 1 {
-            self.exchange((0..m).map(|i| (g[i], g[(i + 1) % m], bytes_per_block)).collect());
+            self.exchange(
+                (0..m)
+                    .map(|i| (g[i], g[(i + 1) % m], bytes_per_block))
+                    .collect(),
+            );
             self.compute(bytes_per_block as f64 * crate::coll::REDUCE_SEC_PER_BYTE);
         }
     }
@@ -355,14 +402,14 @@ impl RoundProgram {
                 let rem = (m & ((pk << 1) - 1)).saturating_sub(pk);
                 let cnt = (full + rem) as u64;
                 self.exchange(
-                    (0..m).map(|i| (g[i], g[(i + pk) % m], cnt * bytes)).collect(),
+                    (0..m)
+                        .map(|i| (g[i], g[(i + pk) % m], cnt * bytes))
+                        .collect(),
                 );
             }
         } else {
             for s in 1..m {
-                self.exchange(
-                    (0..m).map(|i| (g[i], g[(i + s) % m], bytes)).collect(),
-                );
+                self.exchange((0..m).map(|i| (g[i], g[(i + s) % m], bytes)).collect());
             }
         }
     }
@@ -394,11 +441,7 @@ impl RoundProgram {
     /// Irregular alltoall (MPI_Alltoallv): pairwise rounds where the payload
     /// of each (src, dst) pair comes from `sizes(src_index, dst_index)`
     /// (indices within the group). Zero-byte pairs are skipped.
-    pub fn alltoallv_among(
-        &mut self,
-        g: &[usize],
-        sizes: &dyn Fn(usize, usize) -> u64,
-    ) -> u64 {
+    pub fn alltoallv_among(&mut self, g: &[usize], sizes: &dyn Fn(usize, usize) -> u64) -> u64 {
         let m = g.len();
         let mut total = 0u64;
         if m < 2 {
@@ -522,8 +565,7 @@ fn estimate_inner(
                     );
                     seq[src] += 1;
                     let path = fabric.node_path(sn, dn, lid_idx);
-                    let wire =
-                        p.wire_latency(path.len().saturating_sub(1), path.len());
+                    let wire = p.wire_latency(path.len().saturating_sub(1), path.len());
                     max_wire = max_wire.max(wire);
                     for dl in path.iter() {
                         let i = dl.index();
@@ -538,11 +580,7 @@ fn estimate_inner(
                 }
                 // Sender-side serialization: the busiest sender posts its
                 // messages back to back.
-                let max_sends = msgs
-                    .iter()
-                    .map(|&(s, _, _)| sends[s])
-                    .max()
-                    .unwrap_or(0) as f64;
+                let max_sends = msgs.iter().map(|&(s, _, _)| sends[s]).max().unwrap_or(0) as f64;
                 let latency = max_sends * (p.o_send + extra) + max_wire + p.o_recv;
                 let mut bw = 0.0f64;
                 for &i in &touched {
@@ -555,6 +593,26 @@ fn estimate_inner(
                 total += latency + bw;
             }
         }
+    }
+    if hxobs::enabled() {
+        let (mut rounds, mut bytes) = (0u64, 0u64);
+        for phase in &prog.phases {
+            if let Phase::Exchange(msgs) = phase {
+                rounds += 1;
+                bytes += msgs.iter().map(|&(_, _, b)| b).sum::<u64>();
+            }
+        }
+        hxobs::count("mpi.round_programs", 1);
+        hxobs::count("mpi.rounds", rounds);
+        hxobs::count(
+            if fabric.pml.is_bfo() {
+                "mpi.bytes.bfo"
+            } else {
+                "mpi.bytes.ob1"
+            },
+            bytes,
+        );
+        hxobs::observe("mpi.rounds_per_program", rounds as f64);
     }
     (total, compute)
 }
@@ -616,8 +674,7 @@ pub fn estimate_adaptive(fabric: &Fabric<'_>, prog: &RoundProgram, k: u32) -> f6
                         load[i] += bytes as f64;
                     }
                 }
-                let max_sends =
-                    msgs.iter().map(|&(s, _, _)| sends[s]).max().unwrap_or(0) as f64;
+                let max_sends = msgs.iter().map(|&(s, _, _)| sends[s]).max().unwrap_or(0) as f64;
                 let latency = max_sends * p.o_send + max_wire + p.o_recv;
                 let mut bw = 0.0f64;
                 for &i in &touched {
@@ -800,7 +857,10 @@ mod tests {
         assert_eq!(count(&rab), 8);
         // Both estimates are in the same bandwidth regime (within 2x).
         let (et_ring, et_rab) = (estimate(&f, &ring), estimate(&f, &rab));
-        assert!(et_rab < et_ring * 2.0 && et_ring < et_rab * 3.0, "{et_ring} {et_rab}");
+        assert!(
+            et_rab < et_ring * 2.0 && et_ring < et_rab * 3.0,
+            "{et_ring} {et_rab}"
+        );
     }
 
     #[test]

@@ -23,7 +23,13 @@ fn world() -> &'static (Topology, Routes) {
 fn fabric(n: usize) -> Fabric<'static> {
     let (t, r) = world();
     let nodes: Vec<NodeId> = t.nodes().collect();
-    Fabric::new(t, r, Placement::linear(&nodes, n), Pml::Ob1, NetParams::qdr())
+    Fabric::new(
+        t,
+        r,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        NetParams::qdr(),
+    )
 }
 
 /// Sanity: every posted receive has a matching send with the same

@@ -44,7 +44,8 @@ impl Cdg {
     /// Whether the dependency edge already exists.
     #[inline]
     pub fn has_edge(&self, a: DirLink, b: DirLink) -> bool {
-        self.edges.contains(&self.key(a.index() as u32, b.index() as u32))
+        self.edges
+            .contains(&self.key(a.index() as u32, b.index() as u32))
     }
 
     /// Is `target` reachable from `from` over existing edges plus the

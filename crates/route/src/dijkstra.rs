@@ -73,12 +73,7 @@ impl DestTree {
 
     /// Walks from `from` towards the destination, invoking `visit` for every
     /// directed cable on the way. Returns false if the walk failed.
-    pub fn walk(
-        &self,
-        topo: &Topology,
-        from: SwitchId,
-        mut visit: impl FnMut(DirLink),
-    ) -> bool {
+    pub fn walk(&self, topo: &Topology, from: SwitchId, mut visit: impl FnMut(DirLink)) -> bool {
         let mut cur = from;
         for _ in 0..=topo.num_switches() {
             if cur == self.dst {
@@ -142,8 +137,7 @@ pub fn dijkstra_to_dest(
             let cand = (h + 1, w.saturating_add(weights.get(dl)));
             let cur = (hops[v.idx()], wsum[v.idx()]);
             let better = cand < cur
-                || (cand == cur
-                    && out[v.idx()].is_some_and(|cur_link| link.0 < cur_link.0));
+                || (cand == cur && out[v.idx()].is_some_and(|cur_link| link.0 < cur_link.0));
             if better {
                 hops[v.idx()] = cand.0;
                 wsum[v.idx()] = cand.1;

@@ -145,7 +145,8 @@ mod tests {
         let r = Ftree.route(&t).unwrap();
         for src in [0u32, 250, 500] {
             for dst in [10u32, 300, 660] {
-                r.path(&t, NodeId(src), r.lid_map.base(NodeId(dst))).unwrap();
+                r.path(&t, NodeId(src), r.lid_map.base(NodeId(dst)))
+                    .unwrap();
             }
         }
     }

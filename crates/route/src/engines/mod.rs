@@ -74,10 +74,9 @@ pub(crate) fn walk_lft(
 ) -> Result<(), RouteError> {
     let mut cur = from;
     for _ in 0..=topo.num_switches() {
-        let out = routes.get(cur, lid).ok_or(RouteError::NoRoute {
-            switch: cur,
-            lid,
-        })?;
+        let out = routes
+            .get(cur, lid)
+            .ok_or(RouteError::NoRoute { switch: cur, lid })?;
         let dl = DirLink::leaving(topo, out, Endpoint::Switch(cur));
         match dl.head(topo) {
             Endpoint::Node(_) => return Ok(()),

@@ -50,9 +50,12 @@ impl Parx {
     /// Builds the four link masks implementing rules R1–R4: `masks[x][link]`
     /// is false when routing towards LID index `x` must ignore the cable.
     fn build_masks(topo: &Topology) -> Result<[Vec<bool>; 4], RouteError> {
-        let hx = topo.meta.as_hyperx().ok_or(RouteError::UnsupportedTopology(
-            "PARX requires a HyperX topology",
-        ))?;
+        let hx = topo
+            .meta
+            .as_hyperx()
+            .ok_or(RouteError::UnsupportedTopology(
+                "PARX requires a HyperX topology",
+            ))?;
         if hx.dims() != 2 || hx.shape.iter().any(|&s| s % 2 != 0) {
             return Err(RouteError::UnsupportedTopology(
                 "PARX prototype supports 2-D HyperX with even dimensions",
@@ -113,15 +116,17 @@ impl RoutingEngine for Parx {
                 for x in 0u32..4 {
                     let lid = routes.lid_map.lid(nd, x);
                     // Temporary graph I* with rule-R(x) links removed.
-                    let tree =
-                        dijkstra_to_dest(topo, dsw, &weights, Some(&masks[x as usize]));
+                    let tree = dijkstra_to_dest(topo, dsw, &weights, Some(&masks[x as usize]));
                     install_tree(&mut routes, &tree, lid, dlink);
 
                     // Fault tolerance (paper footnote 7): switches isolated
                     // by the removal fall back to the unrestricted graph.
-                    if tree.out.iter().enumerate().any(|(s, o)| {
-                        o.is_none() && s != dsw.idx()
-                    }) {
+                    if tree
+                        .out
+                        .iter()
+                        .enumerate()
+                        .any(|(s, o)| o.is_none() && s != dsw.idx())
+                    {
                         let full = dijkstra_to_dest(topo, dsw, &weights, None);
                         for s in topo.switches() {
                             if s != dsw && !tree.reachable(s) {
@@ -143,9 +148,7 @@ impl RoutingEngine for Parx {
                             if ssw == dsw {
                                 continue;
                             }
-                            walk_lft(topo, &routes, ssw, lid, |dl| {
-                                weights.add(dl, w as u64)
-                            })?;
+                            walk_lft(topo, &routes, ssw, lid, |dl| weights.add(dl, w as u64))?;
                         }
                     } else {
                         for nx in topo.nodes() {
@@ -245,10 +248,7 @@ mod tests {
                 if sq == dq {
                     for &x in lid_choices(sq, dq, SizeClass::Large) {
                         let p = r.path_to(&t, src, dst, x as u32).unwrap();
-                        assert!(
-                            p.isl_hops() >= minimal,
-                            "large path shorter than minimal?"
-                        );
+                        assert!(p.isl_hops() >= minimal, "large path shorter than minimal?");
                         if p.isl_hops() > minimal {
                             detours += 1;
                         }

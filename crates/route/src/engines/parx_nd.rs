@@ -112,9 +112,12 @@ pub struct ParxNd {
 
 impl ParxNd {
     fn build_masks(topo: &Topology) -> Result<Vec<Vec<bool>>, RouteError> {
-        let hx = topo.meta.as_hyperx().ok_or(RouteError::UnsupportedTopology(
-            "PARX-nD requires a HyperX topology",
-        ))?;
+        let hx = topo
+            .meta
+            .as_hyperx()
+            .ok_or(RouteError::UnsupportedTopology(
+                "PARX-nD requires a HyperX topology",
+            ))?;
         if hx.shape.iter().any(|&s| s % 2 != 0) {
             return Err(RouteError::UnsupportedTopology(
                 "PARX-nD requires even extents in every dimension",
@@ -169,8 +172,7 @@ impl RoutingEngine for ParxNd {
                 let (dsw, dlink) = topo.node_switch(nd);
                 for x in 0..rules {
                     let lid = routes.lid_map.lid(nd, x);
-                    let tree =
-                        dijkstra_to_dest(topo, dsw, &weights, Some(&masks[x as usize]));
+                    let tree = dijkstra_to_dest(topo, dsw, &weights, Some(&masks[x as usize]));
                     install_tree(&mut routes, &tree, lid, dlink);
                     if tree
                         .out
@@ -194,9 +196,7 @@ impl RoutingEngine for ParxNd {
                             if nx == nd || ssw == dsw {
                                 continue;
                             }
-                            walk_lft(topo, &routes, ssw, lid, |dl| {
-                                weights.add(dl, w as u64)
-                            })?;
+                            walk_lft(topo, &routes, ssw, lid, |dl| weights.add(dl, w as u64))?;
                         }
                     } else {
                         for nx in topo.nodes() {
@@ -330,8 +330,7 @@ mod tests {
         let shape = vec![4u32, 4, 2];
         for disc in 0..10u64 {
             let x = select_lid_nd(&shape, &[0, 0, 0], &[3, 3, 1], SizeClass::Small, disc);
-            assert!(lid_choices_nd(&shape, &[0, 0, 0], &[3, 3, 1], SizeClass::Small)
-                .contains(&x));
+            assert!(lid_choices_nd(&shape, &[0, 0, 0], &[3, 3, 1], SizeClass::Small).contains(&x));
         }
     }
 }

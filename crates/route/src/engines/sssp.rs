@@ -8,14 +8,12 @@ use crate::lid::{LidMap, LidPolicy};
 use hxtopo::Topology;
 
 /// SSSP routing configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Sssp {
     /// LID mask control (extra LIDs per node; SSSP itself uses them only for
     /// additional balancing).
     pub lmc: u8,
 }
-
 
 impl RoutingEngine for Sssp {
     fn name(&self) -> &'static str {

@@ -111,8 +111,7 @@ impl RoutingEngine for UpDown {
                 if dd[s.idx()] != inf {
                     // Descend: every candidate also has a pure-down path.
                     for (p, link) in topo.active_switch_neighbors(s) {
-                        if ord(p) > ord(s) && dd[p.idx()] != inf && dd[p.idx()] + 1 == dd[s.idx()]
-                        {
+                        if ord(p) > ord(s) && dd[p.idx()] != inf && dd[p.idx()] + 1 == dd[s.idx()] {
                             cands.push(link);
                         }
                     }

@@ -204,6 +204,12 @@ impl Routes {
         (v != NO_ROUTE).then_some(LinkId(v))
     }
 
+    /// Number of installed (non-empty) forwarding entries across all
+    /// switch LFTs — the fabric-wide routing-table footprint.
+    pub fn num_lft_entries(&self) -> usize {
+        self.lft.iter().filter(|&&v| v != NO_ROUTE).count()
+    }
+
     /// Installs a service-level table sized `num_switches * lid_space`.
     pub fn set_sl_table(&mut self, sl: Vec<u8>, num_vls: u8) {
         assert_eq!(sl.len(), self.num_switches * self.lid_space);
@@ -274,7 +280,10 @@ impl Routes {
                 Endpoint::Switch(next) => sw = next,
             }
         }
-        Err(RouteError::ForwardingLoop { lid: dst_lid, at: sw })
+        Err(RouteError::ForwardingLoop {
+            lid: dst_lid,
+            at: sw,
+        })
     }
 
     /// Path to a destination node's `x`-th LID.
@@ -403,7 +412,10 @@ mod tests {
     #[test]
     fn unknown_lid_rejected() {
         let (t, r) = route_line();
-        assert_eq!(r.path(&t, NodeId(0), 0).unwrap_err(), RouteError::UnknownLid(0));
+        assert_eq!(
+            r.path(&t, NodeId(0), 0).unwrap_err(),
+            RouteError::UnknownLid(0)
+        );
         assert_eq!(
             r.path(&t, NodeId(0), 999).unwrap_err(),
             RouteError::UnknownLid(999)

@@ -59,8 +59,8 @@ impl LidMap {
                 let mut next = [0u32; 4]; // next free slot per quadrant
                 for node in topo.nodes() {
                     let q = hx.quadrant(topo.node_switch(node).0).index();
-                    let lid = q as u32 * 1000 + next[q] * per_node
-                        + if q == 0 { per_node } else { 0 };
+                    let lid =
+                        q as u32 * 1000 + next[q] * per_node + if q == 0 { per_node } else { 0 };
                     // Quadrant 0 starts at LID per_node to keep LID 0 reserved.
                     assert!(
                         lid + per_node <= (q as u32 + 1) * 1000,
@@ -71,11 +71,7 @@ impl LidMap {
                 }
             }
         }
-        let max_lid = base
-            .iter()
-            .map(|&b| b + per_node)
-            .max()
-            .unwrap_or(1);
+        let max_lid = base.iter().map(|&b| b + per_node).max().unwrap_or(1);
         let mut owner = vec![u32::MAX; max_lid as usize];
         for (i, &b) in base.iter().enumerate() {
             for x in 0..per_node {

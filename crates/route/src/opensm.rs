@@ -60,7 +60,11 @@ impl SubnetManager {
 
     /// Discovers and routes the fabric (an OpenSM heavy sweep).
     pub fn sweep(&mut self) -> Result<SweepReport, RouteError> {
+        let obs = hxobs::sink();
+        let t0 = std::time::Instant::now();
+        let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
         let routes = self.engine.route(&self.topo)?;
+        let route_secs = t0.elapsed().as_secs_f64();
         let paths = if self.verify {
             let p = verify_paths(&self.topo, &routes)?;
             verify_deadlock_free(&self.topo, &routes)?;
@@ -70,6 +74,34 @@ impl SubnetManager {
         };
         self.epoch += 1;
         let vls = routes.num_vls;
+        if let Some(o) = &obs {
+            use hxobs::Recorder;
+            let engine = self.engine.name();
+            o.tracer.name_process(hxobs::track::OPENSM, "opensm");
+            o.span(
+                hxobs::track::OPENSM,
+                0,
+                &format!("sweep:{engine}"),
+                "route",
+                start_us,
+                o.now_us() - start_us,
+                vec![
+                    ("engine".to_string(), hxobs::Json::from(engine)),
+                    ("epoch".to_string(), hxobs::Json::from(self.epoch)),
+                    ("vls".to_string(), hxobs::Json::from(vls as u64)),
+                ],
+            );
+            o.counter_add("route.sweeps", 1);
+            o.histogram_record(&format!("route.sweep_seconds.{engine}"), route_secs);
+            o.gauge_set("route.vls", vls as f64);
+            o.gauge_set("route.lft_entries", routes.num_lft_entries() as f64);
+            let hop_hist = o.registry.histogram("route.pair_hops");
+            for (hops, &n) in paths.hist.iter().enumerate() {
+                for _ in 0..n {
+                    hop_hist.record(hops as f64);
+                }
+            }
+        }
         self.routes = Some(routes);
         Ok(SweepReport {
             paths,
@@ -82,6 +114,18 @@ impl SubnetManager {
     /// an error (and re-activates the cable) if the fabric would become
     /// unroutable.
     pub fn fail_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.counter_add("route.link_failures", 1);
+            o.instant(
+                hxobs::track::OPENSM,
+                0,
+                "fail_link",
+                "route",
+                o.now_us(),
+                vec![("link".to_string(), hxobs::Json::from(l.0 as u64))],
+            );
+        }
         self.topo.deactivate(l);
         match self.sweep() {
             Ok(r) => Ok(r),
@@ -104,6 +148,18 @@ impl SubnetManager {
     /// job starts. Only meaningful when the engine is PARX; the demand is
     /// wrapped into a fresh engine instance.
     pub fn reroute_with_demand(&mut self, demand: Demand) -> Result<SweepReport, RouteError> {
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.counter_add("route.demand_reroutes", 1);
+            o.instant(
+                hxobs::track::OPENSM,
+                0,
+                "reroute_with_demand",
+                "route",
+                o.now_us(),
+                vec![],
+            );
+        }
         self.engine = Box::new(Parx::with_demand(demand));
         self.sweep()
     }

@@ -173,8 +173,7 @@ mod tests {
             for d in Quadrant::all() {
                 for &x in lid_choices(s, d, SizeClass::Small) {
                     let h = rule_for_lid(x);
-                    let both_inside =
-                        quadrant_in_half(s, h) && quadrant_in_half(d, h);
+                    let both_inside = quadrant_in_half(s, h) && quadrant_in_half(d, h);
                     assert!(
                         !both_inside,
                         "small {s:?}->{d:?} via LID{x} removes its own half"

@@ -60,7 +60,9 @@ pub fn verify_paths(topo: &Topology, routes: &Routes) -> Result<PathStats, Route
 /// (Dally & Seitz). Returns the number of VLs populated.
 pub fn verify_deadlock_free(topo: &Topology, routes: &Routes) -> Result<u8, RouteError> {
     let channels = topo.num_links() * 2;
-    let mut cdgs: Vec<Cdg> = (0..routes.num_vls.max(1)).map(|_| Cdg::new(channels)).collect();
+    let mut cdgs: Vec<Cdg> = (0..routes.num_vls.max(1))
+        .map(|_| Cdg::new(channels))
+        .collect();
     let mut hops: Vec<DirLink> = Vec::new();
     for src_sw in topo.switches() {
         if topo.attached_nodes(src_sw).next().is_none() {
@@ -89,7 +91,13 @@ pub fn verify_deadlock_free(topo: &Topology, routes: &Routes) -> Result<u8, Rout
             });
         }
     }
-    Ok(cdgs.iter().enumerate().rev().find(|(_, c)| c.num_edges() > 0).map(|(i, _)| i as u8 + 1).unwrap_or(1))
+    Ok(cdgs
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, c)| c.num_edges() > 0)
+        .map(|(i, _)| i as u8 + 1)
+        .unwrap_or(1))
 }
 
 #[cfg(test)]

@@ -8,12 +8,16 @@
 //! latency plus `o_recv`. Receives block until the matching message has
 //! fully arrived.
 
-use crate::fluid::{FluidNet, FlowId};
+use crate::fluid::{FlowId, FluidNet};
 use crate::params::NetParams;
+use hxobs::Recorder;
 use hxroute::DirLink;
 use hxtopo::Topology;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Seconds of simulated time → trace microseconds.
+const US: f64 = 1e6;
 
 /// One operation of a rank's program.
 #[derive(Debug, Clone)]
@@ -140,6 +144,10 @@ pub struct Simulator<'a> {
     resolver: &'a dyn PathResolver,
     /// Timing parameters.
     pub params: NetParams,
+    /// Trace process id for this simulator's events (callers running one
+    /// simulator per rail set this to the plane index so Perfetto groups
+    /// rank tracks per plane).
+    pub trace_pid: u32,
 }
 
 impl<'a> Simulator<'a> {
@@ -153,6 +161,7 @@ impl<'a> Simulator<'a> {
             topo,
             resolver,
             params,
+            trace_pid: 0,
         }
     }
 
@@ -177,6 +186,18 @@ impl<'a> Simulator<'a> {
         let mut arrived: HashMap<(usize, usize, u32), VecDeque<f64>> = HashMap::new();
         let mut msg_seq = vec![0u64; n];
         let mut done = 0usize;
+
+        // Observability: every emission below only *reads* simulator state,
+        // so simulation results are identical with tracing on or off.
+        let obs = hxobs::sink();
+        let pid = self.trace_pid;
+        let mut blocked_at = vec![0.0f64; n];
+        if let Some(o) = &obs {
+            o.tracer.name_process(pid, format!("des plane {pid}"));
+            for r in 0..n {
+                o.tracer.name_thread(pid, r as u32, format!("rank {r}"));
+            }
+        }
 
         for r in 0..n {
             push(&mut heap, 0.0, Event::RankReady(r), &mut seq);
@@ -203,21 +224,29 @@ impl<'a> Simulator<'a> {
                             Op::Compute(d) => {
                                 pc[r] += 1;
                                 if d > 0.0 {
+                                    if let Some(o) = &obs {
+                                        o.span(
+                                            pid,
+                                            r as u32,
+                                            "compute",
+                                            "des",
+                                            now * US,
+                                            d * US,
+                                            vec![],
+                                        );
+                                        o.histogram_record("des.compute_seconds", d);
+                                    }
                                     push(&mut heap, now + d, Event::RankReady(r), &mut seq);
                                     break;
                                 }
                             }
                             Op::Send { to, bytes, tag } => {
                                 pc[r] += 1;
-                                let rp =
-                                    self.resolver.resolve(r, to, bytes, msg_seq[r]);
+                                let rp = self.resolver.resolve(r, to, bytes, msg_seq[r]);
                                 msg_seq[r] += 1;
                                 let switch_hops = rp.hops.len().saturating_sub(1);
-                                let wire = self
-                                    .params
-                                    .wire_latency(switch_hops, rp.hops.len());
-                                let send_busy =
-                                    self.params.o_send + rp.extra_overhead;
+                                let wire = self.params.wire_latency(switch_hops, rp.hops.len());
+                                let send_busy = self.params.o_send + rp.extra_overhead;
                                 let m = Msg {
                                     from: r,
                                     to,
@@ -228,6 +257,22 @@ impl<'a> Simulator<'a> {
                                     flow: None,
                                 };
                                 msgs.push(m);
+                                if let Some(o) = &obs {
+                                    o.span(
+                                        pid,
+                                        r as u32,
+                                        "send",
+                                        "des",
+                                        now * US,
+                                        send_busy * US,
+                                        vec![
+                                            ("to".to_string(), hxobs::Json::from(to)),
+                                            ("bytes".to_string(), hxobs::Json::from(bytes)),
+                                            ("tag".to_string(), hxobs::Json::from(tag as u64)),
+                                        ],
+                                    );
+                                    o.histogram_record("des.msg_bytes", bytes as f64);
+                                }
                                 push(
                                     &mut heap,
                                     now + send_busy,
@@ -238,13 +283,29 @@ impl<'a> Simulator<'a> {
                             }
                             Op::Recv { from, tag } => {
                                 let key = (r, from, tag);
-                                let ready = arrived
-                                    .get_mut(&key)
-                                    .and_then(|q| q.pop_front());
+                                let ready = arrived.get_mut(&key).and_then(|q| q.pop_front());
                                 match ready {
                                     Some(deliver_t) => {
                                         pc[r] += 1;
                                         if deliver_t > now {
+                                            if let Some(o) = &obs {
+                                                o.span(
+                                                    pid,
+                                                    r as u32,
+                                                    "recv_wait",
+                                                    "des",
+                                                    now * US,
+                                                    (deliver_t - now) * US,
+                                                    vec![(
+                                                        "from".to_string(),
+                                                        hxobs::Json::from(from),
+                                                    )],
+                                                );
+                                                o.histogram_record(
+                                                    "des.recv_wait_seconds",
+                                                    deliver_t - now,
+                                                );
+                                            }
                                             push(
                                                 &mut heap,
                                                 deliver_t,
@@ -256,6 +317,7 @@ impl<'a> Simulator<'a> {
                                     }
                                     None => {
                                         state[r] = RankState::Blocked { from, tag };
+                                        blocked_at[r] = now;
                                         break;
                                     }
                                 }
@@ -267,12 +329,7 @@ impl<'a> Simulator<'a> {
                     let m = &mut msgs[mid];
                     if m.bytes == 0 || m.hops.is_empty() {
                         // Latency-only delivery.
-                        push(
-                            &mut heap,
-                            t + m.tail_latency,
-                            Event::Deliver(mid),
-                            &mut seq,
-                        );
+                        push(&mut heap, t + m.tail_latency, Event::Deliver(mid), &mut seq);
                     } else {
                         net.advance_to(t);
                         let fid = net.add_flow(m.hops.clone(), m.bytes);
@@ -309,9 +366,39 @@ impl<'a> Simulator<'a> {
                 Event::Deliver(mid) => {
                     let m = &msgs[mid];
                     let key = (m.to, m.from, m.tag);
+                    if let Some(o) = &obs {
+                        o.instant(
+                            pid,
+                            m.to as u32,
+                            "deliver",
+                            "des",
+                            t * US,
+                            vec![
+                                ("from".to_string(), hxobs::Json::from(m.from)),
+                                ("bytes".to_string(), hxobs::Json::from(m.bytes)),
+                            ],
+                        );
+                    }
                     // If the receiver is blocked on exactly this message,
                     // unblock it; otherwise buffer the arrival.
-                    if state[m.to] == (RankState::Blocked { from: m.from, tag: m.tag }) {
+                    if state[m.to]
+                        == (RankState::Blocked {
+                            from: m.from,
+                            tag: m.tag,
+                        })
+                    {
+                        if let Some(o) = &obs {
+                            o.span(
+                                pid,
+                                m.to as u32,
+                                "recv_wait",
+                                "des",
+                                blocked_at[m.to] * US,
+                                (t - blocked_at[m.to]) * US,
+                                vec![("from".to_string(), hxobs::Json::from(m.from))],
+                            );
+                            o.histogram_record("des.recv_wait_seconds", t - blocked_at[m.to]);
+                        }
                         state[m.to] = RankState::Ready;
                         pc[m.to] += 1;
                         push(&mut heap, t, Event::RankReady(m.to), &mut seq);
@@ -327,6 +414,11 @@ impl<'a> Simulator<'a> {
 
         debug_assert_eq!(done, n, "deadlocked program: {done}/{n} ranks finished");
         let makespan = finish.iter().copied().fold(0.0, f64::max);
+        if let Some(o) = &obs {
+            o.counter_add("des.runs", 1);
+            o.counter_add("des.messages", msgs.len() as u64);
+            o.gauge_set("des.last_makespan_s", makespan);
+        }
         RunResult {
             finish,
             makespan,
@@ -367,8 +459,11 @@ mod tests {
             }
             let (ssw, sl) = self.topo.node_switch(NodeId(src as u32));
             let (dsw, dl) = self.topo.node_switch(NodeId(dst as u32));
-            let mut hops =
-                vec![DirLink::leaving(&self.topo, sl, Endpoint::Node(NodeId(src as u32)))];
+            let mut hops = vec![DirLink::leaving(
+                &self.topo,
+                sl,
+                Endpoint::Node(NodeId(src as u32)),
+            )];
             if ssw != dsw {
                 let isl = self
                     .topo

@@ -43,6 +43,7 @@ pub fn max_min_rates(caps: &[f64], flows: &[&[DirLink]]) -> Vec<f64> {
     if n == 0 {
         return rate;
     }
+    let mut filling_rounds = 0u64;
 
     // Remaining capacity and unfrozen-flow count per directed link.
     let mut rem = caps.to_vec();
@@ -63,6 +64,7 @@ pub fn max_min_rates(caps: &[f64], flows: &[&[DirLink]]) -> Vec<f64> {
     }
 
     while unfrozen > 0 {
+        filling_rounds += 1;
         // Bottleneck link: smallest fair share among links with unfrozen
         // flows.
         let mut best = f64::INFINITY;
@@ -131,6 +133,29 @@ pub fn max_min_rates(caps: &[f64], flows: &[&[DirLink]]) -> Vec<f64> {
             } else {
                 break;
             }
+        }
+    }
+    if hxobs::enabled() {
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.counter_add("flow.solves", 1);
+            o.counter_add("flow.filling_rounds", filling_rounds);
+            o.histogram_record("flow.rounds_per_solve", filling_rounds as f64);
+            // Convergence residual: capacity left unallocated on cables
+            // that carry at least one flow. A perfectly saturated max-min
+            // allocation leaves ~0 on every bottleneck cable.
+            let mut used = vec![false; caps.len()];
+            for f in flows {
+                for dl in f.iter() {
+                    used[dl.index()] = true;
+                }
+            }
+            let residual: f64 = rem
+                .iter()
+                .zip(&used)
+                .filter_map(|(&r, &u)| u.then_some(r))
+                .sum();
+            o.gauge_set("flow.last_residual_capacity", residual);
         }
     }
     rate

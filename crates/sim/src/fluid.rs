@@ -105,6 +105,10 @@ impl FluidNet {
         if self.active == 0 {
             return;
         }
+        if hxobs::enabled() {
+            hxobs::count("fluid.recomputes", 1);
+            hxobs::observe("fluid.flows_per_recompute", self.active as f64);
+        }
         let idx: Vec<FlowId> = self
             .flows
             .iter()
@@ -142,11 +146,7 @@ impl FluidNet {
         self.flows
             .iter()
             .enumerate()
-            .filter_map(|(i, f)| {
-                f.as_ref()
-                    .filter(|f| f.remaining <= EPS_BYTES)
-                    .map(|_| i)
-            })
+            .filter_map(|(i, f)| f.as_ref().filter(|f| f.remaining <= EPS_BYTES).map(|_| i))
             .collect()
     }
 
@@ -161,9 +161,7 @@ impl FluidNet {
         let mut finish = vec![0.0f64; specs.len()];
         net.recompute();
         while net.active_flows() > 0 {
-            let t = net
-                .next_completion()
-                .expect("active flows must complete");
+            let t = net.next_completion().expect("active flows must complete");
             net.advance_to(t);
             for id in net.drained() {
                 let pos = ids.iter().position(|&x| x == id).unwrap();

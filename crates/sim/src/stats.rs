@@ -164,6 +164,52 @@ mod tests {
     }
 
     #[test]
+    fn whisker_even_count() {
+        // Six samples: median interpolates between ranks 2 and 3.
+        let w = Whisker::of(&[6.0, 2.0, 4.0, 1.0, 5.0, 3.0]);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.max, 6.0);
+        assert!((w.median - 3.5).abs() < 1e-12);
+        assert!((w.q1 - 2.25).abs() < 1e-12);
+        assert!((w.q3 - 4.75).abs() < 1e-12);
+        assert_eq!(w.n, 6);
+    }
+
+    #[test]
+    fn whisker_ignores_input_order() {
+        let sorted = Whisker::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let shuffled = Whisker::of(&[4.0, 7.0, 1.0, 6.0, 3.0, 5.0, 2.0]);
+        assert_eq!(sorted, shuffled);
+    }
+
+    mod whisker_props {
+        use super::super::Whisker;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The five-number summary is always ordered and bounded by the
+            /// sample extremes, for any non-empty sample set.
+            #[test]
+            fn five_numbers_are_ordered(
+                v in proptest::collection::vec(-1e9f64..1e9, 1..64),
+            ) {
+                let w = Whisker::of(&v);
+                prop_assert!(w.min <= w.q1, "min {} > q1 {}", w.min, w.q1);
+                prop_assert!(w.q1 <= w.median, "q1 {} > median {}", w.q1, w.median);
+                prop_assert!(w.median <= w.q3, "median {} > q3 {}", w.median, w.q3);
+                prop_assert!(w.q3 <= w.max, "q3 {} > max {}", w.q3, w.max);
+                prop_assert_eq!(w.n, v.len());
+                let lo = v.iter().copied().fold(f64::MAX, f64::min);
+                let hi = v.iter().copied().fold(f64::MIN, f64::max);
+                prop_assert_eq!(w.min, lo);
+                prop_assert_eq!(w.max, hi);
+            }
+        }
+    }
+
+    #[test]
     fn link_usage_counts_dark_fiber() {
         use hxtopo::hyperx::HyperXConfig;
         let t = HyperXConfig::new(vec![3], 1).build(); // K3: 3 ISLs
@@ -180,6 +226,40 @@ mod tests {
         assert_eq!(u.dark, 5); // 3 ISLs x 2 dirs - 1
         assert_eq!(u.max_bytes, 100.0);
         assert_eq!(u.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn link_usage_skips_deactivated_links() {
+        use hxtopo::hyperx::HyperXConfig;
+        // K4 HyperX: 6 ISLs. Fault two of them.
+        let mut t = HyperXConfig::new(vec![4], 1).build();
+        let isls: Vec<_> = t
+            .links()
+            .filter(|(_, l)| l.class != hxtopo::LinkClass::Terminal)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(isls.len(), 6);
+        t.deactivate(isls[0]);
+        t.deactivate(isls[3]);
+        let mut bytes = vec![0.0f64; t.num_links() * 2];
+        // Traffic on a dead cable must not resurrect it in the summary.
+        bytes[isls[0].idx() * 2] = 999.0;
+        bytes[isls[0].idx() * 2 + 1] = 999.0;
+        // Light both directions of one live cable and one direction of
+        // another.
+        bytes[isls[1].idx() * 2] = 10.0;
+        bytes[isls[1].idx() * 2 + 1] = 30.0;
+        bytes[isls[2].idx() * 2] = 20.0;
+        let u = super::LinkUsage::of(&t, &bytes);
+        // Deactivated cables are neither lit nor dark; the directions of
+        // the 4 remaining active ISLs partition into lit + dark.
+        let active_isls = isls.iter().filter(|&&l| t.is_active(l)).count();
+        assert_eq!(active_isls, 4);
+        assert_eq!(u.lit + u.dark, 2 * active_isls);
+        assert_eq!(u.lit, 3);
+        assert_eq!(u.dark, 5);
+        assert_eq!(u.max_bytes, 30.0);
+        assert!((u.mean_lit_bytes - 20.0).abs() < 1e-12);
     }
 
     #[test]

@@ -24,17 +24,14 @@ fn random_paths(topo: &Topology, pairs: &[(u32, u32)]) -> Vec<Vec<DirLink>> {
             let mut hops = vec![DirLink::leaving(topo, sl, Endpoint::Node(src))];
             if ssw != dsw {
                 // Find a direct cable (HyperX diameter-2: may need a relay).
-                if let Some((_, link)) =
-                    topo.active_switch_neighbors(ssw).find(|&(p, _)| p == dsw)
+                if let Some((_, link)) = topo.active_switch_neighbors(ssw).find(|&(p, _)| p == dsw)
                 {
                     hops.push(DirLink::leaving(topo, link, Endpoint::Switch(ssw)));
                 } else {
                     // Route through the first common neighbor.
                     let mid = topo
                         .active_switch_neighbors(ssw)
-                        .find(|&(p, _)| {
-                            topo.active_switch_neighbors(p).any(|(q, _)| q == dsw)
-                        })
+                        .find(|&(p, _)| topo.active_switch_neighbors(p).any(|(q, _)| q == dsw))
                         .expect("diameter 2");
                     hops.push(DirLink::leaving(topo, mid.1, Endpoint::Switch(ssw)));
                     let relay = mid.0;

@@ -109,9 +109,7 @@ mod tests {
             let globals = t
                 .adj(s)
                 .iter()
-                .filter(|e| {
-                    t.link(e.link).class == crate::LinkClass::Aoc
-                })
+                .filter(|e| t.link(e.link).class == crate::LinkClass::Aoc)
                 .count();
             assert_eq!(globals, 2, "switch {s}");
         }

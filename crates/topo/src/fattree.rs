@@ -331,10 +331,16 @@ mod tests {
             down[hi.idx()] += 1;
         }
         let mids: Vec<usize> = levels.at_level(1).map(|s| down[s.idx()]).collect();
-        assert!(mids.iter().all(|&d| d == mids[0]), "unbalanced mids: {mids:?}");
+        assert!(
+            mids.iter().all(|&d| d == mids[0]),
+            "unbalanced mids: {mids:?}"
+        );
         assert_eq!(mids[0], 24); // 864 / 36
         let spines: Vec<usize> = levels.at_level(2).map(|s| down[s.idx()]).collect();
-        assert!(spines.iter().all(|&d| d == 36), "unbalanced spines: {spines:?}");
+        assert!(
+            spines.iter().all(|&d| d == 36),
+            "unbalanced spines: {spines:?}"
+        );
     }
 
     #[test]
@@ -344,7 +350,16 @@ mod tests {
             name: "bad".into(),
             nodes_per_leaf: 1,
             total_nodes: 3,
-            stages: vec![Stage { count: 3, uplinks: 2 }, Stage { count: 4, uplinks: 0 }],
+            stages: vec![
+                Stage {
+                    count: 3,
+                    uplinks: 2,
+                },
+                Stage {
+                    count: 4,
+                    uplinks: 0,
+                },
+            ],
         }
         .staged();
     }

@@ -404,7 +404,10 @@ mod tests {
             let (s, l) = t.node_switch(n);
             let found = t.attached_nodes(s).any(|(m, lm)| m == n && lm == l);
             assert!(found);
-            assert_eq!(t.link(l).other(Endpoint::Node(n)), Some(Endpoint::Switch(s)));
+            assert_eq!(
+                t.link(l).other(Endpoint::Node(n)),
+                Some(Endpoint::Switch(s))
+            );
         }
     }
 

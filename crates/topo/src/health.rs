@@ -163,7 +163,10 @@ mod tests {
         let h = CableHealth::generate(&t, 0.3, 11);
         let short = h.degraded(&t, 0.001, SYMBOL_ERROR_THRESHOLD).len();
         let long = h.degraded(&t, 10.0, SYMBOL_ERROR_THRESHOLD).len();
-        assert!(long >= short, "longer burn-in catches more ({short} vs {long})");
+        assert!(
+            long >= short,
+            "longer burn-in catches more ({short} vs {long})"
+        );
     }
 
     #[test]

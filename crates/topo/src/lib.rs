@@ -43,8 +43,8 @@
 
 pub mod cost;
 pub mod dragonfly;
-pub mod faults;
 pub mod fattree;
+pub mod faults;
 pub mod graph;
 pub mod health;
 pub mod hyperx;
@@ -53,8 +53,8 @@ pub mod props;
 
 pub use cost::{BillOfMaterials, CostModel};
 pub use dragonfly::DragonflyConfig;
-pub use faults::FaultPlan;
 pub use fattree::{FatTreeConfig, TreeLevels};
+pub use faults::FaultPlan;
 pub use graph::{AdjEntry, Endpoint, Link, LinkClass, Topology, TopologyBuilder};
 pub use health::{CableHealth, CableScreening, SYMBOL_ERROR_THRESHOLD};
 pub use hyperx::{HyperXConfig, HyperXShape};

@@ -126,8 +126,7 @@ impl TopologyProps {
                         continue;
                     }
                     let half = extent / 2;
-                    let cross =
-                        crossing_links(topo, |s: SwitchId| hx.coord(s)[d] < half);
+                    let cross = crossing_links(topo, |s: SwitchId| hx.coord(s)[d] < half);
                     min_cross = min_cross.min(cross);
                 }
                 if min_cross == usize::MAX {

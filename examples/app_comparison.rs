@@ -17,8 +17,7 @@ fn main() {
 
     let amg = Amg::default();
     let fft = Swfft::default();
-    let apps: [(&dyn Workload, &[usize]); 2] =
-        [(&amg, &[28, 112, 672]), (&fft, &[16, 64, 512])];
+    let apps: [(&dyn Workload, &[usize]); 2] = [(&amg, &[28, 112, 672]), (&fft, &[16, 64, 512])];
 
     for (w, counts) in apps {
         println!("# {} (kernel runtime, best of 10)", w.name());

@@ -78,6 +78,11 @@ fn main() {
     println!("# 4-ary 3-tree\n");
     route_and_report(
         &tree,
-        &[&Ftree, &Sssp::default(), &Dfsssp::default(), &UpDown::default()],
+        &[
+            &Ftree,
+            &Sssp::default(),
+            &Dfsssp::default(),
+            &UpDown::default(),
+        ],
     );
 }

@@ -75,8 +75,20 @@ fn dense_hyperx_alltoall_loses_bandwidth() {
     let sys = mini();
     let r = Runner::default();
     let bytes = 1 << 20;
-    let ft = r.imb_tmin_us(&sys, Combo::FtFtreeLinear, ImbCollective::Alltoall, 16, bytes);
-    let hx = r.imb_tmin_us(&sys, Combo::HxDfssspLinear, ImbCollective::Alltoall, 16, bytes);
+    let ft = r.imb_tmin_us(
+        &sys,
+        Combo::FtFtreeLinear,
+        ImbCollective::Alltoall,
+        16,
+        bytes,
+    );
+    let hx = r.imb_tmin_us(
+        &sys,
+        Combo::HxDfssspLinear,
+        ImbCollective::Alltoall,
+        16,
+        bytes,
+    );
     assert!(
         hx > ft,
         "dense HyperX alltoall ({hx}us) should exceed Fat-Tree ({ft}us)"

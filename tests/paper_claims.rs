@@ -45,7 +45,11 @@ fn claim_vl_budgets() {
     // Our reproduction: within those hardware budgets (exact counts depend
     // on tie-breaking).
     let s = sys();
-    assert!(s.hx_dfsssp.num_vls <= 3, "DFSSSP {} VLs", s.hx_dfsssp.num_vls);
+    assert!(
+        s.hx_dfsssp.num_vls <= 3,
+        "DFSSSP {} VLs",
+        s.hx_dfsssp.num_vls
+    );
     assert!(s.hx_parx.num_vls <= 8, "PARX {} VLs", s.hx_parx.num_vls);
     assert!(s.hx_parx.num_vls >= s.hx_dfsssp.num_vls);
 }
@@ -58,8 +62,16 @@ fn claim_figure1_bandwidth_ordering() {
     let n = 28;
     let bytes = 1 << 20;
     let ft = average_bandwidth(&mpigraph(&linear_fabric(Combo::FtFtreeLinear, n), n, bytes));
-    let hx = average_bandwidth(&mpigraph(&linear_fabric(Combo::HxDfssspLinear, n), n, bytes));
-    let px = average_bandwidth(&mpigraph(&linear_fabric(Combo::HxParxClustered, n), n, bytes));
+    let hx = average_bandwidth(&mpigraph(
+        &linear_fabric(Combo::HxDfssspLinear, n),
+        n,
+        bytes,
+    ));
+    let px = average_bandwidth(&mpigraph(
+        &linear_fabric(Combo::HxParxClustered, n),
+        n,
+        bytes,
+    ));
     assert!(ft > px && px > hx, "ordering: ft {ft} px {px} hx {hx}");
     let gain = px / hx - 1.0;
     assert!(
@@ -77,10 +89,7 @@ fn claim_parx_barrier_band() {
     use t2hx::load::imb::ImbCollective;
     for n in [7usize, 56, 672] {
         let g = r.imb_gain(s, Combo::HxParxClustered, ImbCollective::Barrier, n, 0);
-        assert!(
-            (-0.90..=-0.40).contains(&g),
-            "n={n}: PARX barrier gain {g}"
-        );
+        assert!((-0.90..=-0.40).contains(&g), "n={n}: PARX barrier gain {g}");
     }
 }
 

@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the t2hx benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` and [`black_box`] —
+//! as a plain wall-clock harness: each benchmark is warmed up once, timed
+//! for a fixed number of samples, and reported as `min/median/mean` on
+//! stdout. No plots, no statistics beyond that.
+//!
+//! `T2HX_BENCH_SAMPLES` overrides the sample count (default 10).
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up / lazy-init
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("T2HX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+        .max(1)
+}
+
+fn report(label: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:<40} min {min:>12.2?}  median {median:>12.2?}  mean {mean:>12.2?}  (n={})",
+        sorted.len()
+    );
+}
+
+/// Top-level harness handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("# group {name}");
+        BenchmarkGroup {
+            name,
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.times);
+        self
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.0), &b.times);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b.times);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner fn, as upstream criterion
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups. Ignores CLI arguments (cargo
+/// passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            times: Vec::new(),
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.times.len(), 5);
+    }
+}

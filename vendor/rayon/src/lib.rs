@@ -1,0 +1,64 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no crates.io access; this shim keeps the
+//! `par_iter`/`into_par_iter` call sites compiling by handing back the
+//! ordinary sequential iterator. Results are identical (rayon's collect
+//! preserves order); only wall-clock parallelism is lost, which tier-1
+//! correctness tests never depend on.
+
+pub mod prelude {
+    //! Drop-in traits mirroring `rayon::prelude`.
+
+    /// `into_par_iter()` — sequential fallback.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` — sequential fallback.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a reference).
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns the (sequential) by-reference iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Item = <&'a T as IntoIterator>::Item;
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let a: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(a, vec![2, 4, 6, 8]);
+        let b: Vec<i32> = (0..4).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(b, vec![1, 2, 3, 4]);
+    }
+}
