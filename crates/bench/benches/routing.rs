@@ -1,11 +1,15 @@
 //! Criterion benchmarks of the routing engines: forwarding-table
 //! computation cost per engine and topology size (an OpenSM routing pass
-//! on the real system takes seconds; ours should too).
+//! on the real system takes seconds; ours should too), plus the
+//! fail-in-place comparison — full resweep vs. incremental PathDb patch on
+//! the paper's 12x8 HyperX with its 15 missing AOCs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use hxroute::engines::{Dfsssp, Ftree, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+use hxroute::{PathDb, SubnetManager};
 use hxtopo::fattree::FatTreeConfig;
 use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{FaultPlan, LinkClass};
 
 fn hyperx_engines(c: &mut Criterion) {
     let mut g = c.benchmark_group("route/hyperx");
@@ -39,5 +43,70 @@ fn fattree_engines(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, hyperx_engines, fattree_engines);
+/// Cable-failure handling on the paper's HyperX plane (672 nodes, the 15
+/// unconnected AOCs of Section 3.1 already missing): a full DFSSSP resweep
+/// versus the incremental PathDb patch, per additional cable failure.
+fn fail_in_place(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route/fail_in_place");
+    g.sample_size(5);
+    let mut topo = HyperXConfig::t2_hyperx(672).build();
+    FaultPlan::t2_hyperx().apply(&mut topo);
+    let mut base = SubnetManager::new(topo.clone(), Box::new(Dfsssp::default()));
+    base.verify = false;
+    base.sweep().unwrap();
+    let routes = base.routes().unwrap().clone();
+    let db = base.pathdb().unwrap().clone();
+    let victim = topo
+        .links()
+        .find(|&(id, l)| l.class == LinkClass::Aoc && topo.is_active(id))
+        .map(|(id, _)| id)
+        .expect("a healthy AOC to kill");
+    for (label, incremental) in [("full_resweep", false), ("incremental", true)] {
+        g.bench_function(BenchmarkId::new(label, "t2-672+15aoc"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sm = SubnetManager::with_state(
+                        topo.clone(),
+                        Box::new(Dfsssp::default()),
+                        routes.clone(),
+                        db.clone(),
+                    );
+                    sm.verify = false;
+                    sm.incremental = incremental;
+                    sm
+                },
+                |mut sm| {
+                    sm.fail_link(victim).unwrap();
+                    sm
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// PathDb extraction cost: sequential vs. chunked-thread build of the full
+/// 672-node HyperX path store.
+fn pathdb_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route/pathdb_build");
+    g.sample_size(5);
+    let topo = HyperXConfig::t2_hyperx(672).build();
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    g.bench_function("threads-1", |b| {
+        b.iter(|| PathDb::build(&topo, &routes, 1, 1).unwrap())
+    });
+    g.bench_function("threads-auto", |b| {
+        b.iter(|| PathDb::build(&topo, &routes, 1, 0).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hyperx_engines,
+    fattree_engines,
+    fail_in_place,
+    pathdb_build
+);
 criterion_main!(benches);

@@ -3,8 +3,12 @@
 //! increased throughput for faulty Fat-Tree deployments such as ours"
 //! (Section 4.4.3, citing Domke et al.'s fail-in-place work \[15\]).
 //!
-//! The subnet manager progressively kills random cables and re-routes;
+//! The subnet manager progressively kills random cables and re-routes
+//! (incrementally patching the shared path store where possible);
 //! effective bisection bandwidth tracks the degradation per engine.
+//!
+//! `T2HX_QUICK=1` shrinks the planes (168 nodes), the job (56 ranks) and
+//! the kill schedule for CI smoke runs.
 
 use hxload::ebb::effective_bisection_bandwidth;
 use hxmpi::{Fabric, Placement, Pml};
@@ -18,12 +22,21 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Plane size, job size and kill schedule, shrunk under `T2HX_QUICK=1`.
+fn scale() -> (usize, usize, Vec<usize>) {
+    if hxbench::quick() {
+        (168, 56, vec![0, 16, 32])
+    } else {
+        (672, 224, vec![0, 32, 64, 96, 128])
+    }
+}
+
 fn study(
     name: &str,
     mk_topo: impl Fn() -> hxtopo::Topology,
     engine: impl Fn() -> Box<dyn RoutingEngine>,
 ) {
-    let n = 224;
+    let (_, n, steps) = scale();
     let mut sm = SubnetManager::new(mk_topo(), engine());
     sm.verify = false; // throughput study; correctness covered by tests
     sm.sweep().expect("initial sweep");
@@ -39,7 +52,6 @@ fn study(
 
     print!("{name:<22}");
     let mut killed = 0usize;
-    let steps = [0usize, 32, 64, 96, 128];
     let mut cable_iter = cables.into_iter();
     for &target in &steps {
         while killed < target {
@@ -49,12 +61,13 @@ fn study(
             }
         }
         let nodes: Vec<NodeId> = sm.topo().nodes().collect();
-        let fabric = Fabric::new(
+        let fabric = Fabric::with_pathdb(
             sm.topo(),
             sm.routes().unwrap(),
             Placement::linear(&nodes, n),
             Pml::Ob1,
             NetParams::qdr(),
+            sm.pathdb().unwrap().clone(),
         );
         let s = effective_bisection_bandwidth(&fabric, n, 1 << 20, 40, 3);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
@@ -65,24 +78,26 @@ fn study(
 
 fn main() {
     let _obs = hxbench::obs_scope("fault_resilience");
-    println!("# Fail-in-place: eBB [GiB/s] at 224 nodes vs cables killed\n");
-    println!(
-        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "engine", 0, 32, 64, 96, 128
-    );
+    let (total, n, steps) = scale();
+    println!("# Fail-in-place: eBB [GiB/s] at {n} nodes vs cables killed\n");
+    print!("{:<22}", "engine");
+    for s in &steps {
+        print!(" {s:>6}");
+    }
+    println!();
     study(
         "Fat-Tree ftree",
-        || FatTreeConfig::tsubame2(672),
+        || FatTreeConfig::tsubame2(total),
         || Box::new(Ftree),
     );
     study(
         "Fat-Tree SSSP",
-        || FatTreeConfig::tsubame2(672),
+        || FatTreeConfig::tsubame2(total),
         || Box::new(Sssp::default()),
     );
     study(
         "HyperX DFSSSP",
-        || HyperXConfig::t2_hyperx(672).build(),
+        || HyperXConfig::t2_hyperx(total).build(),
         || Box::new(Dfsssp::default()),
     );
     println!("\npaper rationale for combo 2: SSSP holds throughput on degraded trees");

@@ -1,5 +1,5 @@
 //! Runs every reproduction harness in sequence, writing each output to
-//! `results/<name>.txt` — the one-command regeneration of all the paper's
+//! `<results>/<name>.txt` — the one-command regeneration of all the paper's
 //! tables and figures.
 //!
 //! ```sh
@@ -8,14 +8,21 @@
 //! T2HX_OBS=1 cargo run --release -p hxbench --bin run_all     # + telemetry
 //! ```
 //!
-//! A failing harness leaves its stderr in `results/<name>.stderr.txt`.
+//! The results directory is `$T2HX_RESULTS_DIR` when set; otherwise
+//! `results/` for full runs and `results/quick/` for `T2HX_QUICK=1` runs,
+//! so a smoke run can never silently overwrite the committed full-mode
+//! numbers. Pointing a quick run at `results/` explicitly is refused while
+//! full-mode outputs are present there.
+//!
+//! A failing harness leaves its stderr in `<results>/<name>.stderr.txt`.
 //! Per-harness wall time and exit status land in
-//! `results/obs/manifest.json`; with `T2HX_OBS=1` each harness additionally
-//! exports `results/obs/<name>.metrics.jsonl` and a Perfetto-loadable
-//! `results/obs/<name>.trace.json`.
+//! `<results>/obs/manifest.json`; with `T2HX_OBS=1` each harness
+//! additionally exports `<results>/obs/<name>.metrics.jsonl` and a
+//! Perfetto-loadable `<results>/obs/<name>.trace.json`.
 
 use hxobs::Json;
 use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 const HARNESSES: &[&str] = &[
@@ -37,9 +44,55 @@ const HARNESSES: &[&str] = &[
     "fault_resilience",
 ];
 
+/// Where this run's outputs go: `$T2HX_RESULTS_DIR`, else `results/` in
+/// full mode and `results/quick/` in quick mode.
+fn results_dir() -> PathBuf {
+    match std::env::var("T2HX_RESULTS_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => {
+            if hxbench::quick() {
+                PathBuf::from("results/quick")
+            } else {
+                PathBuf::from("results")
+            }
+        }
+    }
+}
+
+/// Refuses to let a quick run clobber full-mode outputs sitting in the
+/// plain `results/` directory (the numbers committed to the repo).
+fn guard_against_clobber(dir: &Path) {
+    if !hxbench::quick() || dir != Path::new("results") {
+        return;
+    }
+    let existing: Vec<&str> = HARNESSES
+        .iter()
+        .filter(|name| dir.join(format!("{name}.txt")).exists())
+        .copied()
+        .collect();
+    if !existing.is_empty() {
+        eprintln!(
+            "refusing to overwrite {} full-mode output(s) in results/ with a \
+             T2HX_QUICK=1 run (first: results/{}.txt).",
+            existing.len(),
+            existing[0]
+        );
+        eprintln!("unset T2HX_RESULTS_DIR (quick runs default to results/quick/),");
+        eprintln!("or point T2HX_RESULTS_DIR somewhere else.");
+        std::process::exit(2);
+    }
+}
+
 fn main() {
-    fs::create_dir_all("results").expect("create results/");
+    let dir = results_dir();
+    guard_against_clobber(&dir);
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
     let obs = hxobs::env_requested();
+    // Children inherit the environment; steer their obs artefacts into this
+    // run's results tree unless the user already chose a location.
+    let obs_dir = std::env::var("T2HX_OBS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| dir.join("obs"));
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
@@ -51,23 +104,24 @@ fn main() {
         print!("{name:<24} ... ");
         use std::io::Write;
         std::io::stdout().flush().ok();
-        // Children inherit the environment, so T2HX_OBS / T2HX_QUICK
-        // propagate and each harness exports its own obs artefacts.
+        // T2HX_OBS / T2HX_QUICK propagate, so each harness exports its own
+        // obs artefacts — into this run's obs directory.
         let out = Command::new(exe_dir.join(name))
+            .env("T2HX_OBS_DIR", &obs_dir)
             .output()
             .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
         let wall = t0.elapsed();
-        let path = format!("results/{name}.txt");
+        let path = dir.join(format!("{name}.txt"));
         fs::write(&path, &out.stdout).expect("write result");
-        let stderr_path = format!("results/{name}.stderr.txt");
+        let stderr_path = dir.join(format!("{name}.stderr.txt"));
         if out.status.success() {
             // Stale stderr from an earlier failing run would mislead.
             fs::remove_file(&stderr_path).ok();
-            println!("ok ({wall:.1?}) -> {path}");
+            println!("ok ({wall:.1?}) -> {}", path.display());
         } else {
             failures += 1;
             fs::write(&stderr_path, &out.stderr).expect("write stderr");
-            println!("FAILED ({:?}) -> {stderr_path}", out.status);
+            println!("FAILED ({:?}) -> {}", out.status, stderr_path.display());
             eprintln!("{}", String::from_utf8_lossy(&out.stderr));
         }
         let mut fields = vec![
@@ -81,17 +135,30 @@ fn main() {
                     .unwrap_or(Json::Null),
             ),
             ("wall_seconds", Json::from(wall.as_secs_f64())),
-            ("stdout", Json::str(path)),
+            ("stdout", Json::str(path.display().to_string())),
         ];
         if !out.status.success() {
-            fields.push(("stderr", Json::str(stderr_path)));
+            fields.push(("stderr", Json::str(stderr_path.display().to_string())));
         }
         if obs {
             fields.push((
                 "metrics",
-                Json::str(format!("results/obs/{name}.metrics.jsonl")),
+                Json::str(
+                    obs_dir
+                        .join(format!("{name}.metrics.jsonl"))
+                        .display()
+                        .to_string(),
+                ),
             ));
-            fields.push(("trace", Json::str(format!("results/obs/{name}.trace.json"))));
+            fields.push((
+                "trace",
+                Json::str(
+                    obs_dir
+                        .join(format!("{name}.trace.json"))
+                        .display()
+                        .to_string(),
+                ),
+            ));
         }
         entries.push(Json::obj(fields));
     }
@@ -99,16 +166,18 @@ fn main() {
     let manifest = Json::obj([
         ("obs_enabled", Json::from(obs)),
         ("quick", Json::from(hxbench::quick())),
+        ("results_dir", Json::str(dir.display().to_string())),
         ("harnesses", Json::Arr(entries)),
         ("failures", Json::from(failures)),
     ]);
-    fs::create_dir_all("results/obs").expect("create results/obs/");
-    fs::write("results/obs/manifest.json", manifest.to_string()).expect("write manifest");
-    println!("manifest -> results/obs/manifest.json");
+    fs::create_dir_all(&obs_dir).unwrap_or_else(|e| panic!("create {}: {e}", obs_dir.display()));
+    let manifest_path = obs_dir.join("manifest.json");
+    fs::write(&manifest_path, manifest.to_string()).expect("write manifest");
+    println!("manifest -> {}", manifest_path.display());
 
     if failures > 0 {
         eprintln!("{failures} harness(es) failed");
         std::process::exit(1);
     }
-    println!("\nall harness outputs written to results/");
+    println!("\nall harness outputs written to {}/", dir.display());
 }

@@ -5,11 +5,12 @@
 use crate::combos::{Combo, Scheme};
 use hxmpi::{Fabric, Placement};
 use hxroute::engines::{Dfsssp, Ftree, Parx, RoutingEngine, Sssp};
-use hxroute::{Demand, RouteError, Routes};
+use hxroute::{Demand, PathDb, RouteError, Routes};
 use hxsim::NetParams;
 use hxtopo::fattree::{FatTreeConfig, Stage};
 use hxtopo::hyperx::HyperXConfig;
 use hxtopo::{FaultPlan, NodeId, Topology};
+use std::sync::Arc;
 
 /// The dual-plane system with all four routing states precomputed.
 pub struct T2hx {
@@ -27,6 +28,10 @@ pub struct T2hx {
     pub hx_parx: Routes,
     /// Timing parameters.
     pub params: NetParams,
+    /// Shared path stores, one per routing state, in [`Combo`] plane order
+    /// (ftree, sssp, dfsssp, parx). Every fabric assembled from this system
+    /// aliases these — paths are extracted once per plane, not per job.
+    dbs: [Arc<PathDb>; 4],
 }
 
 impl T2hx {
@@ -70,19 +75,30 @@ impl T2hx {
     }
 
     /// Routes one plane with wall-time + table-size telemetry (spans land
-    /// on the OpenSM wall-clock track next to `SubnetManager` sweeps).
-    fn route_plane(engine: &dyn RoutingEngine, topo: &Topology) -> Result<Routes, RouteError> {
+    /// on the OpenSM wall-clock track next to `SubnetManager` sweeps), then
+    /// extracts its shared path store (in parallel) with build metrics.
+    fn route_plane(
+        engine: &dyn RoutingEngine,
+        topo: &Topology,
+        epoch: u64,
+    ) -> Result<(Routes, Arc<PathDb>), RouteError> {
         let obs = hxobs::sink();
         let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
         let wall0 = std::time::Instant::now();
         let routes = engine.route(topo)?;
+        let route_secs = wall0.elapsed().as_secs_f64();
+        let db0 = std::time::Instant::now();
+        let db = PathDb::build(topo, &routes, epoch, 0)?;
+        let db_secs = db0.elapsed().as_secs_f64();
         if let Some(o) = &obs {
             use hxobs::Recorder;
             o.counter_add("route.engine_runs", 1);
             o.histogram_record(
                 &format!("route.engine_seconds.{}", engine.name()),
-                wall0.elapsed().as_secs_f64(),
+                route_secs,
             );
+            o.histogram_record("pathdb.build_seconds", db_secs);
+            o.gauge_set("pathdb.epoch", db.epoch() as f64);
             o.tracer.name_process(hxobs::track::OPENSM, "opensm");
             o.span(
                 hxobs::track::OPENSM,
@@ -99,10 +115,14 @@ impl T2hx {
                         "lft_entries".to_string(),
                         hxobs::Json::from(routes.num_lft_entries()),
                     ),
+                    (
+                        "pathdb_isl_hops".to_string(),
+                        hxobs::Json::from(db.num_isl_hops()),
+                    ),
                 ],
             );
         }
-        Ok(routes)
+        Ok((routes, Arc::new(db)))
     }
 
     fn assemble(fattree: Topology, hyperx: Topology) -> Result<T2hx, RouteError> {
@@ -111,10 +131,10 @@ impl T2hx {
             hyperx.num_nodes(),
             "dual-plane system needs matching node counts"
         );
-        let ft_ftree = Self::route_plane(&Ftree, &fattree)?;
-        let ft_sssp = Self::route_plane(&Sssp::default(), &fattree)?;
-        let hx_dfsssp = Self::route_plane(&Dfsssp::default(), &hyperx)?;
-        let hx_parx = Self::route_plane(&Parx::default(), &hyperx)?;
+        let (ft_ftree, db_ftree) = Self::route_plane(&Ftree, &fattree, 1)?;
+        let (ft_sssp, db_sssp) = Self::route_plane(&Sssp::default(), &fattree, 1)?;
+        let (hx_dfsssp, db_dfsssp) = Self::route_plane(&Dfsssp::default(), &hyperx, 1)?;
+        let (hx_parx, db_parx) = Self::route_plane(&Parx::default(), &hyperx, 1)?;
         Ok(T2hx {
             fattree,
             hyperx,
@@ -123,6 +143,7 @@ impl T2hx {
             hx_dfsssp,
             hx_parx,
             params: NetParams::qdr(),
+            dbs: [db_ftree, db_sssp, db_dfsssp, db_parx],
         })
     }
 
@@ -150,11 +171,25 @@ impl T2hx {
         }
     }
 
+    /// The shared path store of a combo's routing state.
+    pub fn pathdb(&self, combo: Combo) -> &Arc<PathDb> {
+        match combo {
+            Combo::FtFtreeLinear => &self.dbs[0],
+            Combo::FtSsspClustered => &self.dbs[1],
+            Combo::HxDfssspLinear | Combo::HxDfssspRandom => &self.dbs[2],
+            Combo::HxParxClustered => &self.dbs[3],
+        }
+    }
+
     /// Re-routes the HyperX with PARX ingesting a communication profile
     /// (the SAR-style interface between job submission and OpenSM,
-    /// Section 4.4.3).
+    /// Section 4.4.3). The PARX path store is rebuilt and its epoch
+    /// advances past the previous one's.
     pub fn reroute_parx(&mut self, demand: Demand) -> Result<(), RouteError> {
-        self.hx_parx = Self::route_plane(&Parx::with_demand(demand), &self.hyperx)?;
+        let epoch = self.dbs[3].epoch() + 1;
+        let (routes, db) = Self::route_plane(&Parx::with_demand(demand), &self.hyperx, epoch)?;
+        self.hx_parx = routes;
+        self.dbs[3] = db;
         Ok(())
     }
 
@@ -169,14 +204,16 @@ impl T2hx {
     }
 
     /// Assembles the full fabric (topology + routes + placement + PML) for
-    /// a combo and job size.
+    /// a combo and job size. The fabric aliases the plane's shared path
+    /// store — no per-job path extraction.
     pub fn fabric(&self, combo: Combo, n: usize, seed: u64) -> Fabric<'_> {
-        Fabric::new(
+        Fabric::with_pathdb(
             self.topo(combo),
             self.routes(combo),
             self.placement(combo, n, seed),
             combo.pml(),
             self.params,
+            self.pathdb(combo).clone(),
         )
     }
 }
@@ -212,6 +249,20 @@ mod tests {
     }
 
     #[test]
+    fn fabrics_alias_the_plane_path_store() {
+        let sys = T2hx::mini().unwrap();
+        for combo in Combo::all() {
+            let f = sys.fabric(combo, 16, 1);
+            assert!(
+                Arc::ptr_eq(f.pathdb(), sys.pathdb(combo)),
+                "{}: fabric must share the plane's store",
+                combo.label()
+            );
+            assert_eq!(f.pathdb().epoch(), 1);
+        }
+    }
+
+    #[test]
     fn parx_reroute_with_demand() {
         let mut sys = T2hx::mini().unwrap();
         let mut d = Demand::new(32);
@@ -221,6 +272,9 @@ mod tests {
         sys.reroute_parx(d).unwrap();
         verify_paths(&sys.hyperx, &sys.hx_parx).unwrap();
         verify_deadlock_free(&sys.hyperx, &sys.hx_parx).unwrap();
+        // Epoch churn: the PARX plane's store was rebuilt, epoch advanced.
+        assert_eq!(sys.pathdb(Combo::HxParxClustered).epoch(), 2);
+        assert_eq!(sys.pathdb(Combo::HxDfssspLinear).epoch(), 1);
     }
 
     #[test]

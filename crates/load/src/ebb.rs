@@ -56,7 +56,7 @@ pub fn effective_bisection_bandwidth(
                         bytes,
                         s as u64,
                     );
-                    paths.push(fabric.node_path(sn, dn, lid).to_vec());
+                    paths.push(fabric.node_path(sn, dn, lid));
                 }
             }
             let refs: Vec<&[DirLink]> = paths.iter().map(|p| p.as_slice()).collect();

@@ -31,7 +31,7 @@ pub fn mpigraph(fabric: &Fabric<'_>, n: usize, bytes: u64) -> BandwidthMatrix {
                     .pml
                     .select_lid_index(fabric.topo, fabric.routes, sn, dn, bytes, k as u64);
             specs.push(FlowSpec {
-                path: fabric.node_path(sn, dn, lid).to_vec(),
+                path: fabric.node_path(sn, dn, lid),
                 bytes,
             });
             pairs.push((i, j));

@@ -1,14 +1,13 @@
 //! The fabric: glues placement, routing tables and the PML into a
-//! [`hxsim::PathResolver`], with a path cache so repeated messages between
-//! the same endpoints do not re-walk the forwarding tables.
+//! [`hxsim::PathResolver`]. Every hop vector is resolved from the shared,
+//! epoch-versioned [`PathDb`] — the fabric owns no private path cache, so
+//! the simulator, the MPI layer and verification all read the same store.
 
 use crate::placement::Placement;
 use crate::pml::Pml;
-use hxroute::{DirLink, Routes};
+use hxroute::{DirLink, PathDb, Routes};
 use hxsim::{NetParams, PathResolver, ResolvedPath};
 use hxtopo::{NodeId, Topology};
-use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A routed fabric: topology + forwarding state + rank placement + PML.
@@ -23,11 +22,14 @@ pub struct Fabric<'a> {
     pub pml: Pml,
     /// Timing parameters (for the PML's extra overhead).
     pub params: NetParams,
-    cache: RwLock<HashMap<u64, Arc<[DirLink]>>>,
+    pathdb: Arc<PathDb>,
 }
 
 impl<'a> Fabric<'a> {
-    /// Assembles a fabric.
+    /// Assembles a fabric, extracting the complete path store from the
+    /// forwarding state (in parallel). Panics if any (node, LID) pair is
+    /// unroutable — a fabric with routing holes is a bug in the routing
+    /// stage, not a runtime condition.
     pub fn new(
         topo: &'a Topology,
         routes: &'a Routes,
@@ -35,33 +37,47 @@ impl<'a> Fabric<'a> {
         pml: Pml,
         params: NetParams,
     ) -> Fabric<'a> {
+        let pathdb = PathDb::build(topo, routes, 0, 0)
+            .unwrap_or_else(|e| panic!("unroutable fabric ({}): {e}", routes.engine));
+        Self::with_pathdb(topo, routes, placement, pml, params, Arc::new(pathdb))
+    }
+
+    /// Assembles a fabric around an existing shared path store (the subnet
+    /// manager's or the dual-plane system's), avoiding a rebuild.
+    pub fn with_pathdb(
+        topo: &'a Topology,
+        routes: &'a Routes,
+        placement: Placement,
+        pml: Pml,
+        params: NetParams,
+        pathdb: Arc<PathDb>,
+    ) -> Fabric<'a> {
+        debug_assert_eq!(
+            pathdb.lid_space(),
+            routes.lid_space(),
+            "path store does not match the forwarding state"
+        );
         Fabric {
             topo,
             routes,
             placement,
             pml,
             params,
-            cache: RwLock::new(HashMap::new()),
+            pathdb,
         }
     }
 
-    fn cache_key(src: NodeId, dst: NodeId, lid_idx: u32) -> u64 {
-        (src.0 as u64) << 34 | (dst.0 as u64) << 4 | lid_idx as u64
+    /// The shared path store backing this fabric.
+    pub fn pathdb(&self) -> &Arc<PathDb> {
+        &self.pathdb
     }
 
-    /// The routed path between two nodes for a LID index, cached.
-    pub fn node_path(&self, src: NodeId, dst: NodeId, lid_idx: u32) -> Arc<[DirLink]> {
-        let key = Self::cache_key(src, dst, lid_idx);
-        if let Some(p) = self.cache.read().get(&key) {
-            return p.clone();
-        }
-        let path = self
-            .routes
-            .path_to(self.topo, src, dst, lid_idx)
-            .unwrap_or_else(|e| panic!("unroutable {src}->{dst} lid{lid_idx}: {e}"));
-        let arc: Arc<[DirLink]> = path.hops.into();
-        self.cache.write().insert(key, arc.clone());
-        arc
+    /// The routed path between two nodes for a LID index.
+    pub fn node_path(&self, src: NodeId, dst: NodeId, lid_idx: u32) -> Vec<DirLink> {
+        let lid = self.routes.lid_map.lid(dst, lid_idx);
+        self.pathdb
+            .node_path(src, lid)
+            .unwrap_or_else(|| panic!("unroutable {src}->{dst} lid{lid_idx}"))
     }
 
     /// Extra software overhead the PML charges per message.
@@ -100,7 +116,7 @@ impl PathResolver for Fabric<'_> {
         let lid_idx = self
             .pml
             .select_lid_index(self.topo, self.routes, sn, dn, bytes, seq);
-        let hops = self.node_path(sn, dn, lid_idx).to_vec();
+        let hops = self.node_path(sn, dn, lid_idx);
         ResolvedPath {
             hops,
             extra_overhead: self.pml_overhead(),
@@ -150,20 +166,26 @@ mod tests {
     }
 
     #[test]
-    fn cache_returns_identical_paths() {
+    fn paths_come_from_the_shared_store() {
         let t = HyperXConfig::new(vec![4, 4], 1).build();
         let r = Dfsssp::default().route(&t).unwrap();
         let nodes: Vec<NodeId> = t.nodes().collect();
-        let f = Fabric::new(
+        let db = Arc::new(hxroute::PathDb::build(&t, &r, 7, 0).unwrap());
+        let f = Fabric::with_pathdb(
             &t,
             &r,
             Placement::linear(&nodes, 16),
             Pml::Ob1,
             NetParams::qdr(),
+            db.clone(),
         );
+        // No rebuild: the fabric aliases the caller's store.
+        assert!(Arc::ptr_eq(f.pathdb(), &db));
+        assert_eq!(f.pathdb().epoch(), 7);
+        // And resolution agrees with a direct LFT walk.
         let a = f.node_path(NodeId(0), NodeId(9), 0);
-        let b = f.node_path(NodeId(0), NodeId(9), 0);
-        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let expect = r.path_to(&t, NodeId(0), NodeId(9), 0).unwrap().hops;
+        assert_eq!(a, expect);
     }
 
     #[test]

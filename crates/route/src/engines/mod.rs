@@ -64,14 +64,15 @@ pub(crate) fn install_tree(
 }
 
 /// Walks the installed LFTs from a switch towards a LID, yielding the
-/// directed ISL hops. Returns `Err` on missing entries or loops.
+/// directed ISL hops and returning the node the walk delivers to. Returns
+/// `Err` on missing entries or loops.
 pub(crate) fn walk_lft(
     topo: &Topology,
     routes: &Routes,
     from: SwitchId,
     lid: Lid,
     mut visit: impl FnMut(DirLink),
-) -> Result<(), RouteError> {
+) -> Result<NodeId, RouteError> {
     let mut cur = from;
     for _ in 0..=topo.num_switches() {
         let out = routes
@@ -79,7 +80,7 @@ pub(crate) fn walk_lft(
             .ok_or(RouteError::NoRoute { switch: cur, lid })?;
         let dl = DirLink::leaving(topo, out, Endpoint::Switch(cur));
         match dl.head(topo) {
-            Endpoint::Node(_) => return Ok(()),
+            Endpoint::Node(n) => return Ok(n),
             Endpoint::Switch(next) => {
                 visit(dl);
                 cur = next;

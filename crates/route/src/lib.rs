@@ -15,6 +15,8 @@
 //! * [`table1`] — the paper's Table 1 (LID selection by quadrant pair and
 //!   message size) and rules R1–R4,
 //! * [`demand`] — communication-demand profiles PARX ingests,
+//! * [`pathdb`] — the epoch-versioned, CSR-compressed path store every
+//!   consumer (simulator, MPI layer, verification) resolves paths from,
 //! * [`verify`] — loop-freedom, reachability and deadlock-freedom checks.
 //!
 //! # Example
@@ -51,6 +53,7 @@ pub mod engines;
 pub mod lft;
 pub mod lid;
 pub mod opensm;
+pub mod pathdb;
 pub mod table1;
 pub mod verify;
 
@@ -60,5 +63,6 @@ pub use engines::{Dfsssp, Ftree, MinHop, Parx, RoutingEngine, Sssp, UpDown};
 pub use lft::{DirLink, Path, RouteError, Routes};
 pub use lid::{Lid, LidMap, LidPolicy};
 pub use opensm::{SubnetManager, SweepReport};
+pub use pathdb::PathDb;
 pub use table1::{lid_choices, select_lid, SizeClass, DEFAULT_THRESHOLD};
 pub use verify::{verify_deadlock_free, verify_paths, PathStats};

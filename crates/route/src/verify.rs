@@ -5,6 +5,7 @@
 use crate::cdg::{chain_of, Cdg};
 use crate::engines::walk_lft;
 use crate::lft::{DirLink, RouteError, Routes};
+use crate::pathdb::PathDb;
 use hxtopo::Topology;
 
 /// Aggregate path statistics from a full verification sweep.
@@ -22,37 +23,12 @@ pub struct PathStats {
 
 /// Walks every (source node, destination LID) pair through the LFTs,
 /// verifying reachability and loop freedom, and collecting hop statistics.
+///
+/// Implemented as a [`PathDb`] build-and-discard: the extraction walk *is*
+/// the verification pass, so this can never disagree with what consumers
+/// resolve from the shared store.
 pub fn verify_paths(topo: &Topology, routes: &Routes) -> Result<PathStats, RouteError> {
-    let mut pairs = 0usize;
-    let mut max = 0usize;
-    let mut sum = 0u64;
-    let mut hist = vec![0usize; 8];
-    for src in topo.nodes() {
-        for (lid, owner) in routes.lid_map.lids() {
-            if owner == src {
-                continue;
-            }
-            let p = routes.path(topo, src, lid)?;
-            let h = p.isl_hops();
-            pairs += 1;
-            sum += h as u64;
-            max = max.max(h);
-            if h >= hist.len() {
-                hist.resize(h + 1, 0);
-            }
-            hist[h] += 1;
-        }
-    }
-    Ok(PathStats {
-        pairs,
-        max_isl_hops: max,
-        avg_isl_hops: if pairs == 0 {
-            0.0
-        } else {
-            sum as f64 / pairs as f64
-        },
-        hist,
-    })
+    Ok(PathDb::build(topo, routes, 0, 1)?.stats())
 }
 
 /// Rebuilds the channel dependency graph of every virtual lane from the

@@ -1,0 +1,181 @@
+//! Property-based PathDb tests: the incremental fail-in-place patch must be
+//! bit-identical to a from-scratch path extraction of the repaired
+//! forwarding state, for every routing engine and any fault sequence — and
+//! the parallel build must be byte-identical to the single-threaded one.
+//!
+//! The from-scratch rebuild refuses any path that traverses a deactivated
+//! cable, so these properties also prove the affected-tree computation is
+//! complete: a single destination tree left unrepaired fails the rebuild.
+
+use hxroute::engines::{Dfsssp, Ftree, Lash, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+use hxroute::{PathDb, SubnetManager};
+use hxtopo::fattree::{FatTreeConfig, Stage};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{LinkClass, LinkId, Topology};
+use proptest::prelude::*;
+
+fn hyperx_engines() -> Vec<Box<dyn RoutingEngine>> {
+    vec![
+        Box::new(MinHop::default()),
+        Box::new(Sssp::default()),
+        Box::new(Dfsssp::default()),
+        Box::new(UpDown::default()),
+        Box::new(Lash::default()),
+        Box::new(Parx::default()),
+    ]
+}
+
+fn fattree_engines() -> Vec<Box<dyn RoutingEngine>> {
+    vec![
+        Box::new(Ftree),
+        Box::new(Sssp::default()),
+        Box::new(UpDown::default()),
+    ]
+}
+
+/// The 8-leaf staged Clos from `T2hx::mini`.
+fn mini_fattree() -> Topology {
+    FatTreeConfig {
+        name: "fat-tree-mini".into(),
+        nodes_per_leaf: 4,
+        total_nodes: 32,
+        stages: vec![
+            Stage {
+                count: 8,
+                uplinks: 6,
+            },
+            Stage {
+                count: 6,
+                uplinks: 4,
+            },
+            Stage {
+                count: 4,
+                uplinks: 0,
+            },
+        ],
+    }
+    .staged()
+}
+
+fn active_isls(topo: &Topology) -> Vec<LinkId> {
+    topo.links()
+        .filter(|&(id, l)| l.class != LinkClass::Terminal && topo.is_active(id))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Drives a randomized fault sequence through the subnet manager and checks
+/// after every failure that the (usually incrementally patched) PathDb is
+/// bit-identical to a from-scratch extraction of the live forwarding state.
+fn check_fault_sequence(
+    topo: &Topology,
+    engine: Box<dyn RoutingEngine>,
+    kills: &[usize],
+) -> Result<(), TestCaseError> {
+    let name = engine.name();
+    let mut sm = SubnetManager::new(topo.clone(), engine);
+    sm.verify = false;
+    sm.sweep().unwrap();
+    let all_pairs = sm.pathdb().unwrap().stats().pairs;
+    for &k in kills {
+        let candidates = active_isls(sm.topo());
+        if candidates.is_empty() {
+            break;
+        }
+        let victim = candidates[k % candidates.len()];
+        // A disconnecting failure rolls back; both outcomes must leave the
+        // store equal to a from-scratch rebuild of the live routes.
+        let outcome = sm.fail_link(victim);
+        let db = sm.pathdb().unwrap();
+        let rebuilt = PathDb::build(sm.topo(), sm.routes().unwrap(), db.epoch(), 1)
+            .map_err(|e| TestCaseError::Fail(format!("{name}: rebuild failed: {e}")))?;
+        prop_assert!(
+            db.content_eq(&rebuilt),
+            "{name}: patched store diverges from from-scratch rebuild after killing {victim}"
+        );
+        prop_assert_eq!(db.epoch(), sm.epoch(), "{} epoch stamp", name);
+        if let Ok(report) = outcome {
+            prop_assert_eq!(report.paths.pairs, all_pairs, "{} lost pairs", name);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Incremental patching equals a from-scratch resweep extraction on
+    /// HyperX planes, for every engine and any ISL fault sequence.
+    #[test]
+    fn hyperx_incremental_matches_rebuild(
+        t in 1u32..3,
+        kills in proptest::collection::vec(0usize..10_000, 1..4),
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], t).build();
+        for engine in hyperx_engines() {
+            check_fault_sequence(&topo, engine, &kills)?;
+        }
+    }
+
+    /// Same property on the staged-Clos Fat-Tree plane.
+    #[test]
+    fn fattree_incremental_matches_rebuild(
+        kills in proptest::collection::vec(0usize..10_000, 1..4),
+    ) {
+        let topo = mini_fattree();
+        for engine in fattree_engines() {
+            check_fault_sequence(&topo, engine, &kills)?;
+        }
+    }
+
+    /// The chunked `std::thread::scope` build is byte-identical to the
+    /// sequential build — thread interleaving must never leak into results.
+    #[test]
+    fn parallel_build_is_deterministic(
+        t in 1u32..3,
+        threads in 2usize..9,
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], t).build();
+        for engine in hyperx_engines() {
+            let routes = engine.route(&topo).unwrap();
+            let seq = PathDb::build(&topo, &routes, 5, 1).unwrap();
+            let par = PathDb::build(&topo, &routes, 5, threads).unwrap();
+            // Full structural equality, epoch stamp included.
+            prop_assert_eq!(&seq, &par, "{} threads={}", engine.name(), threads);
+        }
+        let ft = mini_fattree();
+        let routes = Ftree.route(&ft).unwrap();
+        let seq = PathDb::build(&ft, &routes, 5, 1).unwrap();
+        let par = PathDb::build(&ft, &routes, 5, threads).unwrap();
+        prop_assert_eq!(&seq, &par, "ftree threads={}", threads);
+    }
+}
+
+/// Deeper sequential fault drill on one engine: keep killing cables until
+/// the fabric disconnects, checking equivalence at every step.
+#[test]
+fn fault_drill_until_disconnection() {
+    let topo = HyperXConfig::new(vec![3, 3], 1).build();
+    let mut sm = SubnetManager::new(topo, Box::new(Sssp::default()));
+    sm.verify = false;
+    sm.sweep().unwrap();
+    let mut killed = 0;
+    loop {
+        let candidates = active_isls(sm.topo());
+        let Some(&victim) = candidates.first() else {
+            break;
+        };
+        let ok = sm.fail_link(victim).is_ok();
+        let db = sm.pathdb().unwrap();
+        let rebuilt = PathDb::build(sm.topo(), sm.routes().unwrap(), db.epoch(), 1).unwrap();
+        assert!(db.content_eq(&rebuilt), "diverged after {killed} kills");
+        if !ok {
+            // Disconnection detected and rolled back; the drill is over.
+            assert!(sm.topo().is_active(victim));
+            break;
+        }
+        killed += 1;
+        assert!(killed < 1000, "drill failed to terminate");
+    }
+    assert!(killed >= 1, "drill must kill at least one cable");
+}

@@ -332,7 +332,10 @@ impl<'a> Simulator<'a> {
                         push(&mut heap, t + m.tail_latency, Event::Deliver(mid), &mut seq);
                     } else {
                         net.advance_to(t);
-                        let fid = net.add_flow(m.hops.clone(), m.bytes);
+                        // The hop vector is only needed by the flow model;
+                        // hand it over instead of cloning (it was resolved
+                        // from the shared PathDb and is ours to consume).
+                        let fid = net.add_flow(std::mem::take(&mut m.hops), m.bytes);
                         m.flow = Some(fid);
                         flow_to_msg.insert(fid, mid);
                         net.recompute();

@@ -62,6 +62,37 @@ impl Bencher {
             self.times.push(t0.elapsed());
         }
     }
+
+    /// Runs `setup` (untimed) before every timed invocation of `routine` —
+    /// for routines that consume or mutate their input. `_size` is accepted
+    /// for API parity and ignored (the shim never batches).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up / lazy-init
+        self.times.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// How many setup outputs upstream criterion materializes at once. The shim
+/// runs setup per iteration regardless; the variants exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// One setup per iteration (the shim's only actual behavior).
+    #[default]
+    PerIteration,
+    /// Small inputs (upstream batches many per allocation).
+    SmallInput,
+    /// Large inputs (upstream batches few).
+    LargeInput,
 }
 
 fn default_samples() -> usize {
@@ -225,5 +256,25 @@ mod tests {
         };
         b.iter(|| black_box(1 + 1));
         assert_eq!(b.times.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher {
+            samples: 4,
+            times: Vec::new(),
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u64, 2, 3]
+            },
+            |v| v.into_iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        // Warm-up + 4 timed iterations, each with a fresh setup.
+        assert_eq!(setups, 5);
+        assert_eq!(b.times.len(), 4);
     }
 }
