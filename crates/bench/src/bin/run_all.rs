@@ -6,7 +6,12 @@
 //! cargo run --release -p hxbench --bin run_all
 //! T2HX_QUICK=1 cargo run --release -p hxbench --bin run_all   # smoke run
 //! T2HX_OBS=1 cargo run --release -p hxbench --bin run_all     # + telemetry
+//! run_all --list                    # print harness names and exit
+//! run_all --only ebb --only fig01   # run matching harnesses only
 //! ```
+//!
+//! `--only <substring>` may repeat; a harness runs if its name contains any
+//! of the given substrings. A filter matching nothing is an error.
 //!
 //! The results directory is `$T2HX_RESULTS_DIR` when set; otherwise
 //! `results/` for full runs and `results/quick/` for `T2HX_QUICK=1` runs,
@@ -83,7 +88,49 @@ fn guard_against_clobber(dir: &Path) {
     }
 }
 
+/// Parses `--list` / `--only <substring>` and returns the harnesses to run.
+fn select_harnesses() -> Vec<&'static str> {
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in HARNESSES {
+                    println!("{name}");
+                }
+                std::process::exit(0);
+            }
+            "--only" => match args.next() {
+                Some(pat) if !pat.is_empty() => only.push(pat),
+                _ => {
+                    eprintln!("--only requires a non-empty substring argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: run_all [--list] [--only <substring>]...");
+                std::process::exit(2);
+            }
+        }
+    }
+    if only.is_empty() {
+        return HARNESSES.to_vec();
+    }
+    let selected: Vec<&'static str> = HARNESSES
+        .iter()
+        .filter(|name| only.iter().any(|pat| name.contains(pat.as_str())))
+        .copied()
+        .collect();
+    if selected.is_empty() {
+        eprintln!("--only filter(s) {only:?} match no harness; try --list");
+        std::process::exit(2);
+    }
+    selected
+}
+
 fn main() {
+    let harnesses = select_harnesses();
     let dir = results_dir();
     guard_against_clobber(&dir);
     fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
@@ -99,7 +146,7 @@ fn main() {
         .expect("bin directory");
     let mut failures = 0usize;
     let mut entries: Vec<Json> = Vec::new();
-    for name in HARNESSES {
+    for name in &harnesses {
         let t0 = std::time::Instant::now();
         print!("{name:<24} ... ");
         use std::io::Write;

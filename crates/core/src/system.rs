@@ -142,7 +142,9 @@ impl T2hx {
             ft_sssp,
             hx_dfsssp,
             hx_parx,
-            params: NetParams::qdr(),
+            // $T2HX_SOLVER picks the congestion engine (exact|incremental);
+            // both yield bit-identical results, so this is a perf knob only.
+            params: NetParams::qdr().with_solver(hxsim::solver::SolverKind::from_env()),
             dbs: [db_ftree, db_sssp, db_dfsssp, db_parx],
         })
     }

@@ -8,11 +8,21 @@
 
 use hxmpi::Fabric;
 use hxroute::DirLink;
-use hxsim::flow::{directed_capacities, max_min_rates};
+use hxsim::flow::directed_capacities;
+use hxsim::solver::OneShot;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+
+/// Per-worker scratch reused across samples: the congestion solver's
+/// internal buffers, the rank permutation and the per-pair hop vectors all
+/// keep their allocations between bisections.
+struct SampleScratch {
+    solver: OneShot,
+    ranks: Vec<usize>,
+    paths: Vec<Vec<DirLink>>,
+}
 
 /// The paper's sample count.
 pub const EBB_SAMPLES: usize = 1000;
@@ -38,32 +48,40 @@ pub fn effective_bisection_bandwidth(
     let caps = directed_capacities(fabric.topo);
     (0..samples)
         .into_par_iter()
-        .map(|s| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9e37));
-            let mut ranks: Vec<usize> = (0..n).collect();
-            ranks.shuffle(&mut rng);
-            let mut paths: Vec<Vec<DirLink>> = Vec::with_capacity(2 * half);
-            for p in 0..half {
-                let (a, b) = (ranks[p], ranks[p + half]);
-                for (src, dst) in [(a, b), (b, a)] {
-                    let sn = fabric.placement.node(src);
-                    let dn = fabric.placement.node(dst);
-                    let lid = fabric.pml.select_lid_index(
-                        fabric.topo,
-                        fabric.routes,
-                        sn,
-                        dn,
-                        bytes,
-                        s as u64,
-                    );
-                    paths.push(fabric.node_path(sn, dn, lid));
+        .map_init(
+            || SampleScratch {
+                solver: OneShot::new(fabric.params.solver),
+                ranks: Vec::with_capacity(n),
+                paths: vec![Vec::new(); 2 * half],
+            },
+            |sc, s| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9e37));
+                sc.ranks.clear();
+                sc.ranks.extend(0..n);
+                sc.ranks.shuffle(&mut rng);
+                for p in 0..half {
+                    let (a, b) = (sc.ranks[p], sc.ranks[p + half]);
+                    for (k, (src, dst)) in [(a, b), (b, a)].into_iter().enumerate() {
+                        let sn = fabric.placement.node(src);
+                        let dn = fabric.placement.node(dst);
+                        let lid = fabric.pml.select_lid_index(
+                            fabric.topo,
+                            fabric.routes,
+                            sn,
+                            dn,
+                            bytes,
+                            s as u64,
+                        );
+                        fabric.node_path_into(sn, dn, lid, &mut sc.paths[2 * p + k]);
+                    }
                 }
-            }
-            let refs: Vec<&[DirLink]> = paths.iter().map(|p| p.as_slice()).collect();
-            let rates = max_min_rates(&caps, &refs);
-            let bw_sum: f64 = rates.iter().map(|&r| r / (1u64 << 30) as f64).sum();
-            bw_sum / rates.len() as f64
-        })
+                let rates = sc
+                    .solver
+                    .rates(&caps, sc.paths[..2 * half].iter().map(|p| p.as_slice()));
+                let bw_sum: f64 = rates.iter().map(|&r| r / (1u64 << 30) as f64).sum();
+                bw_sum / rates.len() as f64
+            },
+        )
         .collect()
 }
 

@@ -18,11 +18,19 @@ pub type BandwidthMatrix = Vec<Vec<f64>>;
 /// Runs the mpiGraph pattern over `n` ranks with `bytes` per stream.
 pub fn mpigraph(fabric: &Fabric<'_>, n: usize, bytes: u64) -> BandwidthMatrix {
     let mut matrix = vec![vec![0.0f64; n]; n];
+    // Per-round scratch reused across all n-1 rounds: the spec paths keep
+    // their hop allocations, only their contents are rewritten.
+    let mut specs: Vec<FlowSpec> = (0..n)
+        .map(|_| FlowSpec {
+            path: Vec::new(),
+            bytes,
+        })
+        .collect();
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n);
     for k in 1..n {
         // Round k: i -> (i + k) % n, all simultaneous.
-        let mut specs = Vec::with_capacity(n);
-        let mut pairs = Vec::with_capacity(n);
-        for i in 0..n {
+        pairs.clear();
+        for (i, spec) in specs.iter_mut().enumerate() {
             let j = (i + k) % n;
             let sn = fabric.placement.node(i);
             let dn = fabric.placement.node(j);
@@ -30,14 +38,11 @@ pub fn mpigraph(fabric: &Fabric<'_>, n: usize, bytes: u64) -> BandwidthMatrix {
                 fabric
                     .pml
                     .select_lid_index(fabric.topo, fabric.routes, sn, dn, bytes, k as u64);
-            specs.push(FlowSpec {
-                path: fabric.node_path(sn, dn, lid),
-                bytes,
-            });
+            fabric.node_path_into(sn, dn, lid, &mut spec.path);
             pairs.push((i, j));
         }
-        let times = FluidNet::complete_times(fabric.topo, &specs);
-        for ((i, j), t) in pairs.into_iter().zip(times) {
+        let times = FluidNet::complete_times_with(fabric.topo, &specs, fabric.params.solver);
+        for (&(i, j), t) in pairs.iter().zip(times) {
             matrix[j][i] = if t > 0.0 {
                 bytes as f64 / t / (1u64 << 30) as f64
             } else {

@@ -74,10 +74,18 @@ impl<'a> Fabric<'a> {
 
     /// The routed path between two nodes for a LID index.
     pub fn node_path(&self, src: NodeId, dst: NodeId, lid_idx: u32) -> Vec<DirLink> {
+        let mut hops = Vec::new();
+        self.node_path_into(src, dst, lid_idx, &mut hops);
+        hops
+    }
+
+    /// [`Fabric::node_path`] into a caller-provided buffer (cleared first),
+    /// recycling the allocation across sampler loops.
+    pub fn node_path_into(&self, src: NodeId, dst: NodeId, lid_idx: u32, out: &mut Vec<DirLink>) {
         let lid = self.routes.lid_map.lid(dst, lid_idx);
-        self.pathdb
-            .node_path(src, lid)
-            .unwrap_or_else(|| panic!("unroutable {src}->{dst} lid{lid_idx}"))
+        if !self.pathdb.node_path_into(src, lid, out) {
+            panic!("unroutable {src}->{dst} lid{lid_idx}");
+        }
     }
 
     /// Extra software overhead the PML charges per message.

@@ -188,6 +188,7 @@ impl PathDb {
         let mut offsets = Vec::with_capacity(self.offsets.len());
         offsets.push(0u32);
         let mut isl_hops: Vec<DirLink> = Vec::with_capacity(self.isl_hops.len());
+        #[allow(clippy::needless_range_loop)] // lid also scales offset math
         for lid in 0..self.lid_space {
             if is_affected[lid] {
                 let owner = routes
@@ -243,7 +244,7 @@ impl PathDb {
                     }
                     isl_hops.extend_from_slice(hops);
                 }
-                None => offsets.extend(std::iter::repeat(run).take(s)),
+                None => offsets.extend(std::iter::repeat_n(run, s)),
             }
         }
         let mut node_sw = Vec::with_capacity(topo.num_nodes());
@@ -310,21 +311,33 @@ impl PathDb {
     /// as [`Routes::path`] would extract it. `None` for unowned LIDs; empty
     /// for self-sends.
     pub fn node_path(&self, src: NodeId, dst_lid: Lid) -> Option<Vec<DirLink>> {
-        let &o = self.owner.get(dst_lid as usize)?;
+        let mut hops = Vec::new();
+        self.node_path_into(src, dst_lid, &mut hops).then_some(hops)
+    }
+
+    /// [`PathDb::node_path`] into a caller-provided buffer (cleared first),
+    /// so samplers looping over many pairs can recycle the allocation.
+    /// Returns `false` for unowned LIDs; `true` with an empty buffer for
+    /// self-sends.
+    pub fn node_path_into(&self, src: NodeId, dst_lid: Lid, out: &mut Vec<DirLink>) -> bool {
+        out.clear();
+        let Some(&o) = self.owner.get(dst_lid as usize) else {
+            return false;
+        };
         if o == u32::MAX {
-            return None;
+            return false;
         }
         if o == src.0 {
-            return Some(Vec::new());
+            return true;
         }
         let sw = self.node_sw[src.idx()] as usize;
         let i = dst_lid as usize * self.num_switches + sw;
         let isl = &self.isl_hops[self.offsets[i] as usize..self.offsets[i + 1] as usize];
-        let mut hops = Vec::with_capacity(isl.len() + 2);
-        hops.push(self.node_up[src.idx()]);
-        hops.extend_from_slice(isl);
-        hops.push(self.dst_down[dst_lid as usize]);
-        Some(hops)
+        out.reserve(isl.len() + 2);
+        out.push(self.node_up[src.idx()]);
+        out.extend_from_slice(isl);
+        out.push(self.dst_down[dst_lid as usize]);
+        true
     }
 
     /// Destination LIDs whose path set traverses `l` in either direction —

@@ -175,8 +175,10 @@ impl<'a> Simulator<'a> {
             heap.push(Reverse((T(t), *seq, e)));
         };
 
-        let mut net = FluidNet::new(self.topo);
+        let mut net = FluidNet::with_solver(self.topo, self.params.solver);
         let mut net_gen = 0u64;
+        // Reused across NetCheck events: drained-flow scratch.
+        let mut drained: Vec<FlowId> = Vec::new();
         let mut pc = vec![0usize; n];
         let mut state = vec![RankState::Ready; n];
         let mut finish = vec![0.0f64; n];
@@ -350,11 +352,11 @@ impl<'a> Simulator<'a> {
                         continue; // stale
                     }
                     net.advance_to(t);
-                    let drained = net.drained();
+                    net.drained_into(&mut drained);
                     if drained.is_empty() {
                         continue;
                     }
-                    for fid in drained {
+                    for &fid in &drained {
                         net.remove(fid);
                         let mid = flow_to_msg.remove(&fid).expect("flow has msg");
                         let tail = msgs[mid].tail_latency;

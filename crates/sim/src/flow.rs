@@ -37,128 +37,19 @@ pub fn directed_capacities(topo: &Topology) -> Vec<f64> {
 ///
 /// `caps` comes from [`directed_capacities`]. Flows with empty paths (loopback
 /// messages) get `f64::INFINITY`.
+///
+/// This is the one-shot front-end of the congestion engine: it runs the
+/// same component-decomposed water-filling kernel as [`crate::solver`]'s
+/// backends (see DESIGN.md §8 for why the decomposition is exact), so its
+/// results are bit-identical to what a [`crate::FluidNet`] under either
+/// backend computes for the same flow set.
 pub fn max_min_rates(caps: &[f64], flows: &[&[DirLink]]) -> Vec<f64> {
-    let n = flows.len();
-    let mut rate = vec![f64::INFINITY; n];
-    if n == 0 {
-        return rate;
+    use crate::solver::{OneShot, SolverKind};
+    if flows.is_empty() {
+        return Vec::new();
     }
-    let mut filling_rounds = 0u64;
-
-    // Remaining capacity and unfrozen-flow count per directed link.
-    let mut rem = caps.to_vec();
-    let mut count = vec![0u32; caps.len()];
-    let mut frozen = vec![false; n];
-    for f in flows {
-        for dl in f.iter() {
-            count[dl.index()] += 1;
-        }
-    }
-
-    let mut unfrozen = flows.iter().filter(|f| !f.is_empty()).count();
-    // Flows with empty paths are "free".
-    for (i, f) in flows.iter().enumerate() {
-        if f.is_empty() {
-            frozen[i] = true;
-        }
-    }
-
-    while unfrozen > 0 {
-        filling_rounds += 1;
-        // Bottleneck link: smallest fair share among links with unfrozen
-        // flows.
-        let mut best = f64::INFINITY;
-        for (li, &c) in count.iter().enumerate() {
-            if c > 0 {
-                let share = rem[li] / c as f64;
-                if share < best {
-                    best = share;
-                }
-            }
-        }
-        if !best.is_finite() {
-            break;
-        }
-        // Freeze every unfrozen flow crossing a link at the bottleneck share.
-        // (Freeze flows whose tightest link equals the bottleneck share,
-        // within a small tolerance to absorb floating-point noise.)
-        let tol = best * 1e-9 + 1e-12;
-        let mut froze_any = false;
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
-            let tight = f
-                .iter()
-                .map(|dl| rem[dl.index()] / count[dl.index()] as f64)
-                .fold(f64::INFINITY, f64::min);
-            if tight <= best + tol {
-                rate[i] = best;
-                frozen[i] = true;
-                froze_any = true;
-                unfrozen -= 1;
-                for dl in f.iter() {
-                    rem[dl.index()] = (rem[dl.index()] - best).max(0.0);
-                    count[dl.index()] -= 1;
-                }
-            }
-        }
-        if !froze_any {
-            // Numerical safety net: freeze the single tightest flow.
-            if let Some((i, _)) = flows
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !frozen[*i])
-                .map(|(i, f)| {
-                    let t = f
-                        .iter()
-                        .map(|dl| rem[dl.index()] / count[dl.index()] as f64)
-                        .fold(f64::INFINITY, f64::min);
-                    (i, t)
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-            {
-                let f = flows[i];
-                let t = f
-                    .iter()
-                    .map(|dl| rem[dl.index()] / count[dl.index()] as f64)
-                    .fold(f64::INFINITY, f64::min);
-                rate[i] = t;
-                frozen[i] = true;
-                unfrozen -= 1;
-                for dl in f.iter() {
-                    rem[dl.index()] = (rem[dl.index()] - t).max(0.0);
-                    count[dl.index()] -= 1;
-                }
-            } else {
-                break;
-            }
-        }
-    }
-    if hxobs::enabled() {
-        if let Some(o) = hxobs::sink() {
-            use hxobs::Recorder;
-            o.counter_add("flow.solves", 1);
-            o.counter_add("flow.filling_rounds", filling_rounds);
-            o.histogram_record("flow.rounds_per_solve", filling_rounds as f64);
-            // Convergence residual: capacity left unallocated on cables
-            // that carry at least one flow. A perfectly saturated max-min
-            // allocation leaves ~0 on every bottleneck cable.
-            let mut used = vec![false; caps.len()];
-            for f in flows {
-                for dl in f.iter() {
-                    used[dl.index()] = true;
-                }
-            }
-            let residual: f64 = rem
-                .iter()
-                .zip(&used)
-                .filter_map(|(&r, &u)| u.then_some(r))
-                .sum();
-            o.gauge_set("flow.last_residual_capacity", residual);
-        }
-    }
-    rate
+    let mut os = OneShot::new(SolverKind::Exact);
+    os.rates(caps, flows.iter().copied()).to_vec()
 }
 
 /// Fast "bottleneck" estimate of the completion time of a round of

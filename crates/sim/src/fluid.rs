@@ -1,48 +1,115 @@
 //! Event-driven fluid transfers: active flows progress at their max-min fair
 //! rates; rates are re-solved whenever a flow is added or removed.
+//!
+//! Rate allocation is delegated to a pluggable [`RateSolver`] backend (see
+//! [`crate::solver`]); completions are answered from a lazy heap keyed by
+//! `(finish time, flow, rate epoch)`. A heap entry is valid only while its
+//! flow is live *and* its rate epoch is current — a flow's absolute finish
+//! time `now + remaining/rate` is invariant between rate changes, so each
+//! entry stays correct until the solver changes that flow's rate bits
+//! (which bumps the epoch and pushes a fresh entry). Stale entries are
+//! discarded when they surface.
 
-use crate::flow::{directed_capacities, max_min_rates};
+use crate::solver::{RateSolver, RateTable, SolverKind};
 use hxroute::DirLink;
 use hxtopo::Topology;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Handle to an active flow.
-pub type FlowId = usize;
+pub use crate::solver::FlowId;
 
 #[derive(Debug, Clone)]
 struct ActiveFlow {
-    path: Vec<DirLink>,
     remaining: f64,
     rate: f64,
 }
 
+/// Ordered f64 for the completion heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct T(f64);
+impl Eq for T {}
+impl PartialOrd for T {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for T {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 /// The fluid network: capacities plus the set of in-flight flows.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FluidNet {
     caps: Vec<f64>,
     flows: Vec<Option<ActiveFlow>>,
+    /// Per-slot rate epoch; bumped on add/remove/rate change so stale heap
+    /// entries (including ones from a recycled id's past life) never match.
+    epochs: Vec<u64>,
     free: Vec<FlowId>,
     active: usize,
     now: f64,
     /// Cumulative bytes carried per directed cable (traffic statistics).
     pub carried: Vec<f64>,
+    solver: Box<dyn RateSolver>,
+    rates: RateTable,
+    heap: BinaryHeap<Reverse<(T, FlowId, u64)>>,
+    /// Set by add/remove; cleared by [`FluidNet::recompute`]. Querying or
+    /// advancing a dirty net would use stale rates, so debug builds refuse.
+    dirty: bool,
+}
+
+impl Clone for FluidNet {
+    fn clone(&self) -> FluidNet {
+        FluidNet {
+            caps: self.caps.clone(),
+            flows: self.flows.clone(),
+            epochs: self.epochs.clone(),
+            free: self.free.clone(),
+            active: self.active,
+            now: self.now,
+            carried: self.carried.clone(),
+            solver: self.solver.boxed_clone(),
+            rates: self.rates.clone(),
+            heap: self.heap.clone(),
+            dirty: self.dirty,
+        }
+    }
 }
 
 /// A flow is considered drained below this many bytes.
 const EPS_BYTES: f64 = 1e-6;
 
 impl FluidNet {
-    /// Fluid network over a topology's active cables.
+    /// Fluid network over a topology's active cables, using the default
+    /// congestion engine.
     pub fn new(topo: &Topology) -> FluidNet {
-        let caps = directed_capacities(topo);
+        FluidNet::with_solver(topo, SolverKind::default())
+    }
+
+    /// Fluid network with an explicit congestion engine.
+    pub fn with_solver(topo: &Topology, kind: SolverKind) -> FluidNet {
+        let caps = crate::flow::directed_capacities(topo);
         let n = caps.len();
         FluidNet {
             caps,
             flows: Vec::new(),
+            epochs: Vec::new(),
             free: Vec::new(),
             active: 0,
             now: 0.0,
             carried: vec![0.0; n],
+            solver: kind.new_solver(),
+            rates: RateTable::default(),
+            heap: BinaryHeap::new(),
+            dirty: false,
         }
+    }
+
+    /// The active congestion engine's label.
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
     }
 
     /// Current simulation time of the fluid state.
@@ -55,19 +122,40 @@ impl FluidNet {
         self.active
     }
 
+    /// A live flow's current rate (None once removed).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(id)?.as_ref().map(|f| f.rate)
+    }
+
+    /// A live flow's remaining bytes (None once removed).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(id)?.as_ref().map(|f| f.remaining)
+    }
+
     /// Advances all flows to absolute time `t` (must be >= now).
     pub fn advance_to(&mut self, t: f64) {
+        debug_assert!(
+            !self.dirty,
+            "advance_to() on a dirty FluidNet; call recompute() first"
+        );
         let dt = t - self.now;
         debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
-        for f in self.flows.iter_mut().flatten() {
+        let Self {
+            flows,
+            solver,
+            carried,
+            ..
+        } = self;
+        for (id, f) in flows.iter_mut().enumerate() {
+            let Some(f) = f else { continue };
             if f.rate.is_infinite() {
                 // Loopback flows never touch a cable.
                 f.remaining = 0.0;
             } else if dt > 0.0 && f.rate > 0.0 {
                 let moved = (f.rate * dt).min(f.remaining);
                 f.remaining -= moved;
-                for dl in &f.path {
-                    self.carried[dl.index()] += moved;
+                for dl in solver.path(id) {
+                    carried[dl.index()] += moved;
                 }
             }
         }
@@ -77,19 +165,30 @@ impl FluidNet {
     /// Adds a flow starting now; caller must [`FluidNet::recompute`] before
     /// querying completions.
     pub fn add_flow(&mut self, path: Vec<DirLink>, bytes: u64) -> FlowId {
+        self.add_flow_ref(&path, bytes)
+    }
+
+    /// [`FluidNet::add_flow`] without consuming the hop vector (the path is
+    /// copied into the solver's reusable storage either way).
+    pub fn add_flow_ref(&mut self, path: &[DirLink], bytes: u64) -> FlowId {
         let f = ActiveFlow {
-            path,
             remaining: bytes as f64,
             rate: 0.0,
         };
         self.active += 1;
-        if let Some(id) = self.free.pop() {
+        self.dirty = true;
+        let id = if let Some(id) = self.free.pop() {
             self.flows[id] = Some(f);
             id
         } else {
             self.flows.push(Some(f));
+            self.epochs.push(0);
             self.flows.len() - 1
-        }
+        };
+        self.epochs[id] = self.epochs[id].wrapping_add(1);
+        self.rates.invalidate(id);
+        self.solver.add(id, path);
+        id
     }
 
     /// Removes a flow (normally after completion).
@@ -97,73 +196,134 @@ impl FluidNet {
         if self.flows[id].take().is_some() {
             self.active -= 1;
             self.free.push(id);
+            self.epochs[id] = self.epochs[id].wrapping_add(1);
+            self.solver.remove(id);
+            self.dirty = true;
         }
     }
 
-    /// Re-solves the max-min fair rates for the current flow set.
+    /// Re-solves the max-min fair rates for the current flow set (no-op if
+    /// nothing changed since the last solve) and refreshes the completion
+    /// heap for every flow whose rate bits moved.
     pub fn recompute(&mut self) {
-        if self.active == 0 {
+        if !self.dirty {
             return;
         }
-        if hxobs::enabled() {
+        self.dirty = false;
+        let obs = hxobs::enabled();
+        if obs && self.active > 0 {
             hxobs::count("fluid.recomputes", 1);
             hxobs::observe("fluid.flows_per_recompute", self.active as f64);
         }
-        let idx: Vec<FlowId> = self
-            .flows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|_| i))
-            .collect();
-        let paths: Vec<&[DirLink]> = idx
-            .iter()
-            .map(|&i| self.flows[i].as_ref().unwrap().path.as_slice())
-            .collect();
-        let rates = max_min_rates(&self.caps, &paths);
-        for (&i, r) in idx.iter().zip(rates) {
-            self.flows[i].as_mut().unwrap().rate = r;
+        let t0 = obs.then(std::time::Instant::now);
+        let Self {
+            caps,
+            flows,
+            epochs,
+            now,
+            solver,
+            rates,
+            heap,
+            ..
+        } = self;
+        solver.resolve(caps, rates);
+        if let (true, Some(t0)) = (obs, t0) {
+            hxobs::observe("solver.resolve_ns", t0.elapsed().as_nanos() as f64);
+        }
+        for &id in rates.changed() {
+            // The solver only re-solves live flows, so the slot exists.
+            let Some(f) = flows[id].as_mut() else {
+                continue;
+            };
+            f.rate = rates.rate(id);
+            epochs[id] = epochs[id].wrapping_add(1);
+            let finish = if f.remaining <= EPS_BYTES || f.rate.is_infinite() {
+                *now
+            } else if f.rate > 0.0 {
+                *now + f.remaining / f.rate
+            } else {
+                f64::INFINITY
+            };
+            if finish.is_finite() {
+                heap.push(Reverse((T(finish), id, epochs[id])));
+            }
+        }
+        rates.clear_changed();
+        // Lazy deletion keeps stale entries below the heap top; prune when
+        // they dominate so long churny runs stay O(active) in memory.
+        if self.heap.len() > 2 * self.active + 64 {
+            let flows = &self.flows;
+            let epochs = &self.epochs;
+            let live: Vec<_> = std::mem::take(&mut self.heap)
+                .into_vec()
+                .into_iter()
+                .filter(|&Reverse((_, id, ep))| flows[id].is_some() && epochs[id] == ep)
+                .collect();
+            self.heap = BinaryHeap::from(live);
         }
     }
 
     /// Absolute time of the next flow completion, if any flow is active.
-    pub fn next_completion(&self) -> Option<f64> {
-        let mut best = f64::INFINITY;
-        for f in self.flows.iter().flatten() {
-            let t = if f.remaining <= EPS_BYTES {
-                0.0
-            } else if f.rate > 0.0 {
-                f.remaining / f.rate
-            } else {
-                f64::INFINITY
-            };
-            best = best.min(t);
+    pub fn next_completion(&mut self) -> Option<f64> {
+        debug_assert!(
+            !self.dirty,
+            "next_completion() on a dirty FluidNet; call recompute() first"
+        );
+        while let Some(&Reverse((T(t), id, ep))) = self.heap.peek() {
+            if self.flows[id].is_some() && self.epochs[id] == ep {
+                // Clamp: a drained flow's cached finish may sit slightly in
+                // the past after the net advanced beyond it.
+                return Some(t.max(self.now));
+            }
+            self.heap.pop();
         }
-        best.is_finite().then_some(self.now + best)
+        None
+    }
+
+    /// Flows fully drained at the current time, collected into `out`
+    /// (cleared first; allocation reusable across events).
+    pub fn drained_into(&self, out: &mut Vec<FlowId>) {
+        out.clear();
+        out.extend(
+            self.flows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.as_ref().filter(|f| f.remaining <= EPS_BYTES).map(|_| i)),
+        );
     }
 
     /// Flows fully drained at the current time.
     pub fn drained(&self) -> Vec<FlowId> {
-        self.flows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().filter(|f| f.remaining <= EPS_BYTES).map(|_| i))
-            .collect()
+        let mut out = Vec::new();
+        self.drained_into(&mut out);
+        out
     }
 
     /// Convenience: runs a set of simultaneously-starting flows to
     /// completion, returning each flow's finish time.
     pub fn complete_times(topo: &Topology, specs: &[crate::flow::FlowSpec]) -> Vec<f64> {
-        let mut net = FluidNet::new(topo);
+        Self::complete_times_with(topo, specs, SolverKind::default())
+    }
+
+    /// [`FluidNet::complete_times`] under an explicit congestion engine.
+    pub fn complete_times_with(
+        topo: &Topology,
+        specs: &[crate::flow::FlowSpec],
+        kind: SolverKind,
+    ) -> Vec<f64> {
+        let mut net = FluidNet::with_solver(topo, kind);
         let ids: Vec<FlowId> = specs
             .iter()
-            .map(|s| net.add_flow(s.path.clone(), s.bytes))
+            .map(|s| net.add_flow_ref(&s.path, s.bytes))
             .collect();
         let mut finish = vec![0.0f64; specs.len()];
+        let mut done: Vec<FlowId> = Vec::new();
         net.recompute();
         while net.active_flows() > 0 {
             let t = net.next_completion().expect("active flows must complete");
             net.advance_to(t);
-            for id in net.drained() {
+            net.drained_into(&mut done);
+            for &id in &done {
                 let pos = ids.iter().position(|&x| x == id).unwrap();
                 finish[pos] = t;
                 net.remove(id);
@@ -314,5 +474,49 @@ mod tests {
         for x in f {
             assert!((x - expect).abs() < expect * 1e-6);
         }
+    }
+
+    #[test]
+    fn both_engines_complete_identically() {
+        let (t, isl) = dumbbell(3);
+        let specs: Vec<FlowSpec> = (0..3u64)
+            .map(|i| FlowSpec {
+                path: vec![isl],
+                bytes: (i + 1) << 20,
+            })
+            .collect();
+        let a = FluidNet::complete_times_with(&t, &specs, SolverKind::Exact);
+        let b = FluidNet::complete_times_with(&t, &specs, SolverKind::Incremental);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn recycled_id_invalidates_stale_heap_entries() {
+        let (t, isl) = dumbbell(2);
+        let mut net = FluidNet::new(&t);
+        let a = net.add_flow(vec![isl], 1 << 20);
+        net.recompute();
+        let t1 = net.next_completion().unwrap();
+        net.remove(a);
+        // Recycle the slot with a much bigger flow: the old entry at t1
+        // must not be reported for the new incarnation.
+        let b = net.add_flow(vec![isl], 1 << 28);
+        assert_eq!(a, b, "free list should recycle the slot");
+        net.recompute();
+        let t2 = net.next_completion().unwrap();
+        assert!(t2 > t1 * 100.0, "stale entry leaked: {t2} vs {t1}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "dirty FluidNet")]
+    fn missed_recompute_fails_loudly() {
+        let (t, isl) = dumbbell(1);
+        let mut net = FluidNet::new(&t);
+        net.add_flow(vec![isl], 1 << 20);
+        // recompute() deliberately skipped.
+        let _ = net.next_completion();
     }
 }

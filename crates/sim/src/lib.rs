@@ -5,8 +5,12 @@
 //!
 //! * [`flow`] — max-min fair bandwidth allocation over routed paths
 //!   (progressive filling), plus the fast bottleneck-round model,
+//! * [`solver`] — the congestion engine: a [`solver::RateSolver`] trait with
+//!   an `Exact` oracle and a component-wise `Incremental` backend that
+//!   re-solves only flows transitively sharing cables with a change
+//!   (bit-identical by construction; DESIGN.md §8),
 //! * [`fluid`] — event-driven fluid transfers: rates are re-solved whenever
-//!   the set of active flows changes,
+//!   the set of active flows changes, completions answered from a lazy heap,
 //! * [`des`] — per-rank program execution (send/recv/compute) with message
 //!   matching, LogGP-style latency and the fluid network underneath,
 //! * [`params`] — latency/overhead constants calibrated to QDR InfiniBand,
@@ -52,6 +56,7 @@ pub mod flow;
 pub mod fluid;
 pub mod noise;
 pub mod params;
+pub mod solver;
 pub mod stats;
 
 pub use des::{Op, PathResolver, Program, ResolvedPath, RunResult, Simulator};
@@ -59,4 +64,5 @@ pub use flow::{bottleneck_round_time, max_min_rates, FlowSpec};
 pub use fluid::FluidNet;
 pub use noise::NoiseModel;
 pub use params::NetParams;
+pub use solver::{RateSolver, RateTable, SolveStats, SolverKind};
 pub use stats::Whisker;

@@ -99,6 +99,46 @@ mod tests {
     }
 
     #[test]
+    fn independent_instances_agree_bitwise() {
+        // Two models built from the same parameters must be interchangeable
+        // across processes and runs: bit-identical multipliers everywhere.
+        let a = NoiseModel::default();
+        let b = NoiseModel::default();
+        for tag in [0u64, 1, 42, u64::MAX] {
+            for rep in 0..32 {
+                assert_eq!(
+                    a.multiplier(tag, rep).to_bits(),
+                    b.multiplier(tag, rep).to_bits(),
+                    "tag {tag} rep {rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_exact_multiplication() {
+        let n = NoiseModel::default();
+        for rep in 0..16 {
+            let t = 1.25e-3 * (rep + 1) as f64;
+            let expect = t * n.multiplier(5, rep);
+            assert_eq!(n.apply(t, 5, rep).to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_sequence() {
+        let a = NoiseModel::default();
+        let b = NoiseModel {
+            seed: a.seed ^ 1,
+            ..NoiseModel::default()
+        };
+        // At least one multiplier in a short window must differ; a fixed
+        // seed pair keeps this deterministic.
+        let diff = (0..64).any(|rep| a.multiplier(3, rep) != b.multiplier(3, rep));
+        assert!(diff, "seed had no effect on the noise stream");
+    }
+
+    #[test]
     fn spikes_occur_at_roughly_configured_rate() {
         let n = NoiseModel {
             sigma: 0.0,

@@ -11,7 +11,9 @@
 //!   degrades ~3x (paper Figure 5b discussion: bfo is "less tuned" than
 //!   ob1, slowing Barrier 2.8x–6.9x).
 
-/// Network timing parameters (seconds).
+use crate::solver::SolverKind;
+
+/// Network timing parameters (seconds) plus the congestion-engine choice.
 #[derive(Debug, Clone, Copy)]
 pub struct NetParams {
     /// Port-to-port switch traversal latency.
@@ -24,6 +26,9 @@ pub struct NetParams {
     pub o_recv: f64,
     /// Extra per-message software overhead of the bfo multi-path PML.
     pub bfo_extra: f64,
+    /// Rate-allocation backend; both produce bit-identical rates, so this
+    /// only trades solve cost (see DESIGN.md §8).
+    pub solver: SolverKind,
 }
 
 impl Default for NetParams {
@@ -41,7 +46,14 @@ impl NetParams {
             o_send: 0.6e-6,
             o_recv: 0.6e-6,
             bfo_extra: 2.4e-6,
+            solver: SolverKind::Incremental,
         }
+    }
+
+    /// Same parameters under an explicit congestion engine.
+    pub const fn with_solver(mut self, solver: SolverKind) -> NetParams {
+        self.solver = solver;
+        self
     }
 
     /// Pure wire+switch latency of a path with the given switch hop count

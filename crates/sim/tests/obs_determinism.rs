@@ -8,6 +8,7 @@
 
 use hxroute::DirLink;
 use hxsim::des::{Op, PathResolver, Program, ResolvedPath, RunResult, Simulator};
+use hxsim::solver::SolverKind;
 use hxsim::NetParams;
 use hxtopo::{Endpoint, LinkClass, NodeId, SwitchId, Topology, TopologyBuilder};
 use std::sync::Arc;
@@ -108,29 +109,39 @@ fn assert_bit_identical(a: &RunResult, b: &RunResult) {
 
 #[test]
 fn traced_run_is_bit_identical_to_uninstrumented() {
+    // Both congestion engines must satisfy the guard — and agree with each
+    // other, since their rates are bit-identical by construction.
     let d = Dumbbell::new(4);
-    let sim = Simulator::new(&d.topo, &d, NetParams::qdr());
     let p = workload(4);
+    let mut results: Vec<RunResult> = Vec::new();
 
-    assert!(!hxobs::enabled(), "sink must start uninstalled");
-    let plain = sim.run(&p);
+    for kind in [SolverKind::Exact, SolverKind::Incremental] {
+        let sim = Simulator::new(&d.topo, &d, NetParams::qdr().with_solver(kind));
 
-    let rec = Arc::new(hxobs::ObsRecorder::new());
-    hxobs::install(rec.clone());
-    let traced = sim.run(&p);
-    hxobs::uninstall();
+        assert!(!hxobs::enabled(), "sink must start uninstalled");
+        let plain = sim.run(&p);
 
-    assert_bit_identical(&plain, &traced);
-    // The traced run really did record: per-rank tracks plus events, and
-    // the message counter saw all 3 messages per pair of ranks.
-    assert!(!rec.tracer.is_empty(), "trace should not be empty");
-    assert_eq!(
-        rec.registry.counter("des.messages").get(),
-        plain.messages as u64
-    );
+        let rec = Arc::new(hxobs::ObsRecorder::new());
+        hxobs::install(rec.clone());
+        let traced = sim.run(&p);
+        hxobs::uninstall();
 
-    // And a second uninstrumented run still agrees (the recorder left no
-    // residue in the simulator).
-    let again = sim.run(&p);
-    assert_bit_identical(&plain, &again);
+        assert_bit_identical(&plain, &traced);
+        // The traced run really did record: per-rank tracks plus events,
+        // and the message counter saw all 3 messages per pair of ranks.
+        assert!(!rec.tracer.is_empty(), "trace should not be empty");
+        assert_eq!(
+            rec.registry.counter("des.messages").get(),
+            plain.messages as u64
+        );
+
+        // And a second uninstrumented run still agrees (the recorder left
+        // no residue in the simulator).
+        let again = sim.run(&p);
+        assert_bit_identical(&plain, &again);
+        results.push(plain);
+    }
+
+    // Exact vs Incremental: same simulation, bit for bit.
+    assert_bit_identical(&results[0], &results[1]);
 }

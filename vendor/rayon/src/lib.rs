@@ -47,6 +47,46 @@ pub mod prelude {
             self.into_iter()
         }
     }
+
+    /// `map_init()` — per-worker scratch state. Sequentially there is one
+    /// "worker", so `init` runs once and every item sees the same scratch.
+    /// (Real rayon calls `init` once per work split; callers must already
+    /// treat the state as scratch-only for results to be deterministic.)
+    pub trait ParallelMapInit: Iterator + Sized {
+        /// Maps with reusable per-worker state.
+        fn map_init<T, INIT, F, R>(self, init: INIT, f: F) -> MapInit<Self, T, F>
+        where
+            INIT: FnOnce() -> T,
+            F: FnMut(&mut T, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                f,
+            }
+        }
+    }
+
+    impl<I: Iterator> ParallelMapInit for I {}
+
+    /// Iterator returned by [`ParallelMapInit::map_init`].
+    pub struct MapInit<I, T, F> {
+        iter: I,
+        state: T,
+        f: F,
+    }
+
+    impl<I, T, F, R> Iterator for MapInit<I, T, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        type Item = R;
+        fn next(&mut self) -> Option<R> {
+            let x = self.iter.next()?;
+            Some((self.f)(&mut self.state, x))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -60,5 +100,26 @@ mod tests {
         assert_eq!(a, vec![2, 4, 6, 8]);
         let b: Vec<i32> = (0..4).into_par_iter().map(|x| x + 1).collect();
         assert_eq!(b, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let mut inits = 0;
+        let out: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits += 1;
+                    Vec::with_capacity(8)
+                },
+                |scratch: &mut Vec<usize>, x| {
+                    scratch.clear();
+                    scratch.extend(0..x);
+                    scratch.len()
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(inits, 1);
     }
 }
