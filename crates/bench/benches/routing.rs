@@ -86,6 +86,53 @@ fn fail_in_place(c: &mut Criterion) {
     g.finish();
 }
 
+/// The inverse of `fail_in_place`: restoring a downed AOC on the paper's
+/// HyperX plane via a full resweep (`repair_link`) versus the incremental
+/// recover patch (`recover_link`), which repairs only the destination
+/// trees the restored cable can improve.
+fn recover_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route/recover_link");
+    g.sample_size(5);
+    let mut topo = HyperXConfig::t2_hyperx(672).build();
+    FaultPlan::t2_hyperx().apply(&mut topo);
+    let victim = topo
+        .links()
+        .find(|&(id, l)| l.class == LinkClass::Aoc && topo.is_active(id))
+        .map(|(id, _)| id)
+        .expect("a healthy AOC to kill");
+    // Start every iteration from the failed-and-patched state.
+    let mut base = SubnetManager::new(topo.clone(), Box::new(Dfsssp::default()));
+    base.verify = false;
+    base.sweep().unwrap();
+    base.fail_link(victim).unwrap();
+    let failed_topo = base.topo().clone();
+    let routes = base.routes().unwrap().clone();
+    let db = base.pathdb().unwrap().clone();
+    for (label, incremental) in [("full_resweep", false), ("incremental", true)] {
+        g.bench_function(BenchmarkId::new(label, "t2-672+15aoc"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sm = SubnetManager::with_state(
+                        failed_topo.clone(),
+                        Box::new(Dfsssp::default()),
+                        routes.clone(),
+                        db.clone(),
+                    );
+                    sm.verify = false;
+                    sm.incremental = incremental;
+                    sm
+                },
+                |mut sm| {
+                    sm.recover_link(victim).unwrap();
+                    sm
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 /// PathDb extraction cost: sequential vs. chunked-thread build of the full
 /// 672-node HyperX path store.
 fn pathdb_build(c: &mut Criterion) {
@@ -107,6 +154,7 @@ criterion_group!(
     hyperx_engines,
     fattree_engines,
     fail_in_place,
+    recover_link,
     pathdb_build
 );
 criterion_main!(benches);

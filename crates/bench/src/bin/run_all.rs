@@ -47,6 +47,7 @@ const HARNESSES: &[&str] = &[
     "dark_fiber",
     "cost_study",
     "fault_resilience",
+    "fault_campaign",
 ];
 
 /// Where this run's outputs go: `$T2HX_RESULTS_DIR`, else `results/` in

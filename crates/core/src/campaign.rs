@@ -1,0 +1,553 @@
+//! Fault-churn campaign engine: a deterministic MTBF/MTTR event stream of
+//! cable failures and recoveries driven against a live workload.
+//!
+//! The paper's fail-in-place argument (Section 4.4.3, citing Domke et al.
+//! [15]) is about *sustained operation under churn*, not a single snapshot:
+//! cables die, get swapped, and the subnet manager must keep the fabric
+//! routed the whole time. This module closes that loop:
+//!
+//! * a seeded exponential fault process samples failure and repair times
+//!   over the non-terminal cables,
+//! * every event runs through [`SubnetManager::fail_link`] /
+//!   [`SubnetManager::recover_link`] (incremental patch where possible),
+//! * the patched path store is pushed into the running [`Fabric`] via
+//!   [`Fabric::install_pathdb`], and every in-flight flow is re-pathed
+//!   through [`FluidNet::repath`] so the congestion engine's dirty-set
+//!   machinery re-solves only what the reroute touched,
+//! * a closed-loop workload (every completion immediately starts a
+//!   replacement flow between a fresh random pair) measures throughput and
+//!   latency degradation against the same workload on the healthy fabric.
+//!
+//! Determinism: the fault schedule and the workload consume two independent
+//! `ChaCha8Rng` streams, and both congestion backends solve bit-identical
+//! rates, so a campaign's [`CampaignReport::fingerprint`] is byte-stable
+//! per seed across `SolverKind::Exact` and `SolverKind::Incremental`.
+//! Wall-clock reroute latencies are reported but excluded from the
+//! fingerprint.
+
+use hxmpi::{Fabric, Placement, Pml};
+use hxroute::engines::RoutingEngine;
+use hxroute::{RouteError, SubnetManager};
+use hxsim::{FluidNet, NetParams, PathResolver, SolverKind};
+use hxtopo::{LinkClass, LinkId, NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of one fault-churn campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; fault schedule and workload derive independent streams.
+    pub seed: u64,
+    /// Mean time between cable failures (simulated seconds, exponential).
+    pub mtbf: f64,
+    /// Mean time to repair a downed cable (simulated seconds, exponential).
+    pub mttr: f64,
+    /// Campaign length in simulated seconds.
+    pub duration: f64,
+    /// Concurrent closed-loop flows.
+    pub flows: usize,
+    /// Bytes per flow.
+    pub bytes: u64,
+    /// Cap on concurrently-downed cables; failures beyond it are skipped
+    /// (the machine-room analogue: spares run out).
+    pub max_down: usize,
+    /// Congestion engine backing the fluid network.
+    pub solver: SolverKind,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0x7258,
+            mtbf: 0.02,
+            mttr: 0.05,
+            duration: 1.0,
+            flows: 16,
+            bytes: 8 << 20,
+            max_down: 8,
+            solver: SolverKind::default(),
+        }
+    }
+}
+
+/// Outcome of a campaign: healthy-baseline vs under-churn workload metrics
+/// plus routing-event accounting.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Routing engine label.
+    pub engine: String,
+    /// Congestion engine label.
+    pub solver: &'static str,
+    /// Bytes/second drained with no fault events.
+    pub healthy_throughput: f64,
+    /// Bytes/second drained under churn.
+    pub faulted_throughput: f64,
+    /// Mean flow completion time with no fault events (seconds).
+    pub healthy_latency: f64,
+    /// Mean flow completion time under churn (seconds).
+    pub faulted_latency: f64,
+    /// Flows completed in the healthy baseline.
+    pub healthy_completions: u64,
+    /// Flows completed under churn.
+    pub faulted_completions: u64,
+    /// Cable failures applied.
+    pub failures: u64,
+    /// Cable recoveries applied.
+    pub recoveries: u64,
+    /// Failures skipped (would disconnect, or `max_down` reached).
+    pub skipped: u64,
+    /// Fault events absorbed by the incremental patch path.
+    pub incremental_events: u64,
+    /// Destination trees repaired across all events.
+    pub trees_patched: u64,
+    /// Largest number of concurrently-downed cables.
+    pub max_links_down: usize,
+    /// Cables still down when the campaign ended.
+    pub links_down_at_end: usize,
+    /// Total wall-clock nanoseconds spent inside fail/recover + repath
+    /// (measurement only — excluded from [`CampaignReport::fingerprint`]).
+    pub reroute_ns: u128,
+}
+
+impl CampaignReport {
+    /// Fractional throughput lost to churn (0 = unharmed, 1 = dead).
+    pub fn throughput_drop(&self) -> f64 {
+        1.0 - self.faulted_throughput / self.healthy_throughput
+    }
+
+    /// Latency inflation factor under churn (1 = unharmed).
+    pub fn latency_inflation(&self) -> f64 {
+        self.faulted_latency / self.healthy_latency
+    }
+
+    /// FNV-1a over every deterministic field (rate bits included, wall
+    /// clock excluded): byte-equal across congestion backends per seed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.engine.as_bytes());
+        for v in [
+            self.healthy_throughput,
+            self.faulted_throughput,
+            self.healthy_latency,
+            self.faulted_latency,
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        for v in [
+            self.healthy_completions,
+            self.faulted_completions,
+            self.failures,
+            self.recoveries,
+            self.skipped,
+            self.incremental_events,
+            self.trees_patched,
+            self.max_links_down as u64,
+            self.links_down_at_end as u64,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// One in-flight closed-loop flow: the pair it connects and its start time.
+#[derive(Debug, Clone, Copy)]
+struct FlowCtx {
+    src: usize,
+    dst: usize,
+    seq: u64,
+    started: f64,
+}
+
+/// Exponential inter-arrival sample (inverse CDF; `1 - u` dodges `ln(0)`).
+fn exp_sample(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Starts one closed-loop flow between a fresh random distinct-rank pair.
+#[allow(clippy::too_many_arguments)]
+fn launch(
+    fabric: &Fabric<'_>,
+    bytes: u64,
+    n: usize,
+    net: &mut FluidNet,
+    ctx: &mut Vec<Option<FlowCtx>>,
+    rng: &mut ChaCha8Rng,
+    now: f64,
+    seq: &mut u64,
+) {
+    let src = rng.gen_range(0..n);
+    let mut dst = rng.gen_range(0..n - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    let rp = fabric.resolve(src, dst, bytes, *seq);
+    let id = net.add_flow(rp.hops, bytes);
+    let c = FlowCtx {
+        src,
+        dst,
+        seq: *seq,
+        started: now,
+    };
+    *seq += 1;
+    if id == ctx.len() {
+        ctx.push(Some(c));
+    } else {
+        ctx[id] = Some(c);
+    }
+}
+
+/// The closed-loop workload simulator: runs `cfg.flows` concurrent random
+/// pair flows for `cfg.duration`, with an optional fault process mutating
+/// the subnet manager underneath. Returns the workload metrics plus event
+/// accounting (all zero when `churn` is off).
+struct CampaignRun<'a> {
+    sm: &'a mut SubnetManager,
+    fabric: &'a Fabric<'a>,
+    cfg: &'a CampaignConfig,
+    report: &'a mut CampaignReport,
+}
+
+impl CampaignRun<'_> {
+    /// Applies one fault-process event at simulated time `t`, returning the
+    /// victim's repair time if a cable actually went down.
+    fn apply_failure(
+        &mut self,
+        net: &mut FluidNet,
+        ctx: &[Option<FlowCtx>],
+        fault_rng: &mut ChaCha8Rng,
+        down_count: usize,
+    ) -> Option<LinkId> {
+        let candidates: Vec<LinkId> = self
+            .sm
+            .topo()
+            .links()
+            .filter(|&(id, l)| l.class != LinkClass::Terminal && self.sm.topo().is_active(id))
+            .map(|(id, _)| id)
+            .collect();
+        if candidates.is_empty() || down_count >= self.cfg.max_down {
+            self.report.skipped += 1;
+            return None;
+        }
+        let victim = candidates[fault_rng.gen_range(0..candidates.len())];
+        let t0 = std::time::Instant::now();
+        match self.sm.fail_link(victim) {
+            Ok(r) => {
+                self.report.failures += 1;
+                self.report.trees_patched += r.patched_trees as u64;
+                if r.incremental {
+                    self.report.incremental_events += 1;
+                }
+                self.propagate(net, ctx);
+                self.report.reroute_ns += t0.elapsed().as_nanos();
+                Some(victim)
+            }
+            Err(_) => {
+                // Disconnecting kill: rolled back inside fail_link.
+                self.report.skipped += 1;
+                self.report.reroute_ns += t0.elapsed().as_nanos();
+                None
+            }
+        }
+    }
+
+    /// Recovers a downed cable and propagates the new epoch.
+    fn apply_recovery(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>], l: LinkId) {
+        let t0 = std::time::Instant::now();
+        let r = self
+            .sm
+            .recover_link(l)
+            .expect("recovery re-adds capacity; it cannot disconnect");
+        self.report.recoveries += 1;
+        self.report.trees_patched += r.patched_trees as u64;
+        if r.incremental {
+            self.report.incremental_events += 1;
+        }
+        self.propagate(net, ctx);
+        self.report.reroute_ns += t0.elapsed().as_nanos();
+    }
+
+    /// Live epoch propagation: installs the freshly-patched path store into
+    /// the fabric and re-paths every in-flight flow through it.
+    fn propagate(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>]) {
+        let db = self.sm.pathdb().expect("campaign manager keeps a store");
+        self.fabric.install_pathdb(db.clone());
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.gauge_set("pathdb.epoch", db.epoch() as f64);
+        }
+        for (id, c) in ctx.iter().enumerate() {
+            let Some(c) = c else { continue };
+            let rp = self.fabric.resolve(c.src, c.dst, self.cfg.bytes, c.seq);
+            net.repath(id, &rp.hops);
+        }
+        net.recompute();
+    }
+
+    /// Runs the closed-loop workload; `churn` switches the fault process on.
+    /// Returns (throughput bytes/s, mean latency s, completions).
+    fn run(&mut self, churn: bool) -> (f64, f64, u64) {
+        let cfg = self.cfg;
+        let n = self.fabric.placement.num_ranks();
+        // Independent streams: the workload draw sequence must not shift
+        // when the fault schedule consumes differently (and vice versa).
+        let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut fault_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut net = FluidNet::with_solver(self.fabric.topo, cfg.solver);
+        let mut ctx: Vec<Option<FlowCtx>> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..cfg.flows {
+            launch(
+                self.fabric,
+                cfg.bytes,
+                n,
+                &mut net,
+                &mut ctx,
+                &mut work_rng,
+                0.0,
+                &mut seq,
+            );
+        }
+        net.recompute();
+
+        let mut bytes_done = 0u64;
+        let mut completions = 0u64;
+        let mut latency_sum = 0.0f64;
+        let mut next_fail = churn.then(|| exp_sample(&mut fault_rng, cfg.mtbf));
+        // Downed cables with their scheduled repair times, kept sorted by
+        // insertion; the earliest repair is scanned out (the list stays
+        // tiny: at most `max_down`).
+        let mut down: Vec<(f64, LinkId)> = Vec::new();
+        let mut drained: Vec<usize> = Vec::new();
+
+        loop {
+            let t_complete = net.next_completion().unwrap_or(f64::INFINITY);
+            let t_fail = next_fail.unwrap_or(f64::INFINITY);
+            let t_repair = down.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
+            let t = t_complete.min(t_fail).min(t_repair);
+            if t >= cfg.duration {
+                net.advance_to(cfg.duration);
+                break;
+            }
+            net.advance_to(t);
+            if t_complete <= t_fail && t_complete <= t_repair {
+                net.drained_into(&mut drained);
+                for &id in &drained {
+                    let c = ctx[id].take().expect("drained flow has context");
+                    bytes_done += cfg.bytes;
+                    completions += 1;
+                    latency_sum += t - c.started;
+                    net.remove(id);
+                }
+                // Closed loop: replacements keep the offered load constant.
+                for _ in 0..drained.len() {
+                    launch(
+                        self.fabric,
+                        cfg.bytes,
+                        n,
+                        &mut net,
+                        &mut ctx,
+                        &mut work_rng,
+                        t,
+                        &mut seq,
+                    );
+                }
+                net.recompute();
+            } else if t_fail <= t_repair {
+                if let Some(victim) = self.apply_failure(&mut net, &ctx, &mut fault_rng, down.len())
+                {
+                    down.push((t + exp_sample(&mut fault_rng, cfg.mttr), victim));
+                    self.report.max_links_down = self.report.max_links_down.max(down.len());
+                }
+                hxobs::gauge("campaign.links_down", down.len() as f64);
+                next_fail = Some(t + exp_sample(&mut fault_rng, cfg.mtbf));
+            } else {
+                let i = down
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .map(|(i, _)| i)
+                    .expect("repair event requires a downed cable");
+                let (_, l) = down.swap_remove(i);
+                self.apply_recovery(&mut net, &ctx, l);
+                hxobs::gauge("campaign.links_down", down.len() as f64);
+            }
+        }
+        // Account the tail: bytes moved by still-running flows count toward
+        // throughput (the workload is a sustained stream, not a batch).
+        for (id, c) in ctx.iter().enumerate() {
+            if c.is_some() {
+                let left = net.flow_remaining(id).unwrap_or(0.0);
+                bytes_done += cfg.bytes.saturating_sub(left as u64);
+            }
+        }
+        self.report.links_down_at_end = down.len();
+        // Heal the fabric so a faulted run leaves the manager as it found
+        // it (and the healthy baseline can run in either order). These are
+        // ordinary recovery events and count as such.
+        for (_, l) in std::mem::take(&mut down) {
+            self.apply_recovery(&mut net, &ctx, l);
+        }
+        let latency = if completions > 0 {
+            latency_sum / completions as f64
+        } else {
+            f64::INFINITY
+        };
+        (bytes_done as f64 / cfg.duration, latency, completions)
+    }
+}
+
+/// Runs a full campaign on one plane: sweeps the topology with `engine`,
+/// measures the healthy closed-loop baseline, then replays the same
+/// workload under the seeded MTBF/MTTR churn process.
+pub fn run_campaign(
+    topo: &Topology,
+    engine: Box<dyn RoutingEngine>,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, RouteError> {
+    let mut sm = SubnetManager::new(topo.clone(), engine);
+    sm.verify = false; // throughput study; correctness pinned by tests
+    sm.sweep()?;
+    let fab_topo = sm.topo().clone();
+    let fab_routes = sm.routes().expect("swept").clone();
+    let nodes: Vec<NodeId> = fab_topo.nodes().collect();
+    let n = nodes.len();
+    let fabric = Fabric::with_pathdb(
+        &fab_topo,
+        &fab_routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        NetParams::qdr().with_solver(cfg.solver),
+        sm.pathdb().expect("swept").clone(),
+    );
+    let mut report = CampaignReport {
+        engine: fab_routes.engine.to_string(),
+        solver: cfg.solver.label(),
+        healthy_throughput: 0.0,
+        faulted_throughput: 0.0,
+        healthy_latency: 0.0,
+        faulted_latency: 0.0,
+        healthy_completions: 0,
+        faulted_completions: 0,
+        failures: 0,
+        recoveries: 0,
+        skipped: 0,
+        incremental_events: 0,
+        trees_patched: 0,
+        max_links_down: 0,
+        links_down_at_end: 0,
+        reroute_ns: 0,
+    };
+    {
+        let mut run = CampaignRun {
+            sm: &mut sm,
+            fabric: &fabric,
+            cfg,
+            report: &mut report,
+        };
+        let (tp, lat, done) = run.run(false);
+        run.report.healthy_throughput = tp;
+        run.report.healthy_latency = lat;
+        run.report.healthy_completions = done;
+        let (tp, lat, done) = run.run(true);
+        run.report.faulted_throughput = tp;
+        run.report.faulted_latency = lat;
+        run.report.faulted_completions = done;
+    }
+    if let Some(o) = hxobs::sink() {
+        use hxobs::Recorder;
+        o.counter_add("campaign.failures", report.failures);
+        o.counter_add("campaign.recoveries", report.recoveries);
+        o.histogram_record("campaign.reroute_ns", report.reroute_ns as f64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxroute::engines::{Dfsssp, Sssp};
+    use hxtopo::hyperx::HyperXConfig;
+
+    fn quick_cfg(solver: SolverKind) -> CampaignConfig {
+        CampaignConfig {
+            seed: 42,
+            mtbf: 0.003,
+            mttr: 0.006,
+            duration: 0.08,
+            flows: 8,
+            bytes: 1 << 20,
+            max_down: 4,
+            solver,
+        }
+    }
+
+    #[test]
+    fn campaign_reports_churn_and_heals() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = run_campaign(
+            &topo,
+            Box::new(Sssp::default()),
+            &quick_cfg(SolverKind::Exact),
+        )
+        .unwrap();
+        assert!(r.failures > 0, "no churn at mtbf << duration: {r:?}");
+        assert_eq!(r.recoveries, r.failures, "heal must recover all: {r:?}");
+        assert!(r.links_down_at_end <= r.max_links_down);
+        assert!(r.incremental_events > 0, "ISL churn should patch in place");
+        assert!(r.healthy_throughput > 0.0);
+        assert!(r.faulted_throughput > 0.0);
+        assert!(r.faulted_completions > 0);
+        // Degradation is physically bounded: churn can't add capacity.
+        assert!(
+            r.faulted_throughput <= r.healthy_throughput * 1.001,
+            "churn increased throughput? {r:?}"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_backends() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let a = run_campaign(
+            &topo,
+            Box::new(Dfsssp::default()),
+            &quick_cfg(SolverKind::Exact),
+        )
+        .unwrap();
+        let b = run_campaign(
+            &topo,
+            Box::new(Dfsssp::default()),
+            &quick_cfg(SolverKind::Incremental),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "\n{a:?}\nvs\n{b:?}");
+        assert_eq!(
+            a.healthy_throughput.to_bits(),
+            b.healthy_throughput.to_bits()
+        );
+        assert_eq!(
+            a.faulted_throughput.to_bits(),
+            b.faulted_throughput.to_bits()
+        );
+        // Same seed, same backend: exactly reproducible.
+        let c = run_campaign(
+            &topo,
+            Box::new(Dfsssp::default()),
+            &quick_cfg(SolverKind::Exact),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        // Different seed: different campaign.
+        let mut cfg = quick_cfg(SolverKind::Exact);
+        cfg.seed = 43;
+        let d = run_campaign(&topo, Box::new(Dfsssp::default()), &cfg).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+}

@@ -11,7 +11,10 @@
 //!   noise, the 15-minute walltime cutoff, and relative-gain computation
 //!   against the Fat-Tree/ftree/linear baseline,
 //! * [`report`] — text renderers for the paper's figure formats (gain
-//!   grids, whisker rows, bandwidth heatmaps).
+//!   grids, whisker rows, bandwidth heatmaps),
+//! * [`campaign`] — deterministic fault-churn campaigns: seeded MTBF/MTTR
+//!   cable failure/recovery streams driven against a live workload, with
+//!   incremental re-routing and live epoch propagation into the fabric.
 //!
 //! # Example
 //!
@@ -35,12 +38,14 @@
 //! assert!(gain < -0.3, "gain {gain}");
 //! ```
 
+pub mod campaign;
 pub mod capacity;
 pub mod combos;
 pub mod experiment;
 pub mod report;
 pub mod system;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use capacity::run_capacity_combo;
 pub use combos::Combo;
 pub use experiment::{Runner, Samples};

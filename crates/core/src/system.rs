@@ -256,7 +256,7 @@ mod tests {
         for combo in Combo::all() {
             let f = sys.fabric(combo, 16, 1);
             assert!(
-                Arc::ptr_eq(f.pathdb(), sys.pathdb(combo)),
+                Arc::ptr_eq(&f.pathdb(), sys.pathdb(combo)),
                 "{}: fabric must share the plane's store",
                 combo.label()
             );

@@ -8,7 +8,7 @@ use crate::pml::Pml;
 use hxroute::{DirLink, PathDb, Routes};
 use hxsim::{NetParams, PathResolver, ResolvedPath};
 use hxtopo::{NodeId, Topology};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A routed fabric: topology + forwarding state + rank placement + PML.
 pub struct Fabric<'a> {
@@ -22,7 +22,11 @@ pub struct Fabric<'a> {
     pub pml: Pml,
     /// Timing parameters (for the PML's extra overhead).
     pub params: NetParams,
-    pathdb: Arc<PathDb>,
+    /// Swappable handle onto the shared path store: a subnet manager that
+    /// patches routes mid-run installs its new epoch here and every
+    /// subsequent resolve sees the repaired paths. Readers clone the `Arc`
+    /// (cheap) rather than holding the lock across a resolution.
+    pathdb: RwLock<Arc<PathDb>>,
 }
 
 impl<'a> Fabric<'a> {
@@ -63,13 +67,27 @@ impl<'a> Fabric<'a> {
             placement,
             pml,
             params,
-            pathdb,
+            pathdb: RwLock::new(pathdb),
         }
     }
 
-    /// The shared path store backing this fabric.
-    pub fn pathdb(&self) -> &Arc<PathDb> {
-        &self.pathdb
+    /// The shared path store currently backing this fabric (a clone of the
+    /// handle — stable even if a newer epoch is installed afterwards).
+    pub fn pathdb(&self) -> Arc<PathDb> {
+        self.pathdb.read().expect("pathdb lock poisoned").clone()
+    }
+
+    /// Swaps in a newer epoch of the path store (after an incremental
+    /// fail/recover patch). The LID space must be unchanged — incremental
+    /// patches never touch the LID map, so the fabric's `&Routes` stays
+    /// valid for placement and PML LID selection.
+    pub fn install_pathdb(&self, db: Arc<PathDb>) {
+        assert_eq!(
+            db.lid_space(),
+            self.routes.lid_space(),
+            "installed path store does not match the forwarding state"
+        );
+        *self.pathdb.write().expect("pathdb lock poisoned") = db;
     }
 
     /// The routed path between two nodes for a LID index.
@@ -83,8 +101,12 @@ impl<'a> Fabric<'a> {
     /// recycling the allocation across sampler loops.
     pub fn node_path_into(&self, src: NodeId, dst: NodeId, lid_idx: u32, out: &mut Vec<DirLink>) {
         let lid = self.routes.lid_map.lid(dst, lid_idx);
-        if !self.pathdb.node_path_into(src, lid, out) {
-            panic!("unroutable {src}->{dst} lid{lid_idx}");
+        let db = self.pathdb();
+        if !db.node_path_into(src, lid, out) {
+            panic!(
+                "unroutable {src}->{dst} lid{lid_idx} (epoch {})",
+                db.epoch()
+            );
         }
     }
 
@@ -188,12 +210,39 @@ mod tests {
             db.clone(),
         );
         // No rebuild: the fabric aliases the caller's store.
-        assert!(Arc::ptr_eq(f.pathdb(), &db));
+        assert!(Arc::ptr_eq(&f.pathdb(), &db));
         assert_eq!(f.pathdb().epoch(), 7);
         // And resolution agrees with a direct LFT walk.
         let a = f.node_path(NodeId(0), NodeId(9), 0);
         let expect = r.path_to(&t, NodeId(0), NodeId(9), 0).unwrap().hops;
         assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn installing_a_new_epoch_repaths_resolution() {
+        let t = HyperXConfig::new(vec![4, 4], 1).build();
+        let r = Dfsssp::default().route(&t).unwrap();
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        let f = Fabric::new(
+            &t,
+            &r,
+            Placement::linear(&nodes, 16),
+            Pml::Ob1,
+            NetParams::qdr(),
+        );
+        let before = f.pathdb();
+        assert_eq!(before.epoch(), 0);
+        // A fresh build at a later epoch stands in for a patched store.
+        let next = Arc::new(hxroute::PathDb::build(&t, &r, 3, 0).unwrap());
+        f.install_pathdb(next.clone());
+        assert!(Arc::ptr_eq(&f.pathdb(), &next));
+        assert_eq!(f.pathdb().epoch(), 3);
+        // The old handle stays readable — in-flight resolutions are safe.
+        assert_eq!(before.epoch(), 0);
+        // Resolution now reads the installed store.
+        let rp = f.resolve(0, 9, 1024, 0);
+        let expect = r.path_to(&t, NodeId(0), NodeId(9), 0).unwrap().hops;
+        assert_eq!(rp.hops, expect);
     }
 
     #[test]

@@ -88,16 +88,32 @@ mod tests {
     }
 
     #[test]
-    fn vl_overflow_reported() {
-        // max_vls = 1 on a ring-heavy topology cannot be deadlock-free.
+    fn k8_single_hop_fits_one_vl() -> Result<(), RouteError> {
+        // Minimal one-hop paths in a complete graph have no ISL-to-ISL
+        // dependencies, so one VL suffices. The error is propagated, not
+        // swallowed by a panic, so a failure surfaces the real RouteError.
         let t = HyperXConfig::new(vec![8], 1).build(); // K8 complete graph
-        let cfg = Dfsssp { lmc: 0, max_vls: 1 };
-        match cfg.route(&t) {
-            // Either it fits in one VL (minimal one-hop paths in a complete
-            // graph have no ISL-to-ISL dependencies) or it overflows; for K8
-            // all paths are single-hop, so it must succeed with 1 VL.
-            Ok(r) => assert_eq!(r.num_vls, 1),
-            Err(e) => panic!("unexpected {e}"),
+        let r = Dfsssp { lmc: 0, max_vls: 1 }.route(&t)?;
+        assert_eq!(r.num_vls, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn vl_overflow_reported() {
+        // A 2-D HyperX has two-hop minimal paths whose CDG is cyclic on one
+        // lane; max_vls = 1 must overflow with the typed error (regression:
+        // this used to be unreachable behind a catch-all panic).
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let err = Dfsssp { lmc: 0, max_vls: 1 }.route(&t).unwrap_err();
+        match err {
+            RouteError::VlOverflow {
+                required,
+                available,
+            } => {
+                assert_eq!(available, 1);
+                assert!(required > 1, "required {required}");
+            }
+            other => panic!("expected VlOverflow, got {other}"),
         }
     }
 }

@@ -69,7 +69,12 @@ impl Parx {
             };
             let (ca, cb) = (hx.coord(a), hx.coord(b));
             for x in 0u8..4 {
-                let inside = |c: &[u32]| match rule_for_lid(x) {
+                // Indices without a rule (non-LMC-2 spaces) remove nothing:
+                // their LIDs simply route minimally.
+                let Some(half) = rule_for_lid(x) else {
+                    continue;
+                };
+                let inside = |c: &[u32]| match half {
                     RemovedHalf::Left => c[0] < sx / 2,
                     RemovedHalf::Right => c[0] >= sx / 2,
                     RemovedHalf::Top => c[1] < sy / 2,

@@ -140,8 +140,8 @@ impl LidMap {
         if self.policy != LidPolicy::QuadrantBlocks {
             return None;
         }
-        let q = (lid / 1000) as usize;
-        (q < 4 && self.owner(lid).is_some()).then(|| Quadrant::from_index(q))
+        let q = Quadrant::try_from((lid / 1000) as usize).ok()?;
+        self.owner(lid).is_some().then_some(q)
     }
 
     /// The layout policy.

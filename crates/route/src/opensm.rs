@@ -10,8 +10,9 @@
 
 use crate::demand::Demand;
 use crate::dijkstra::dijkstra_to_dest;
-use crate::engines::{install_tree, Parx, RoutingEngine};
+use crate::engines::{install_tree, walk_lft, Parx, RoutingEngine};
 use crate::lft::{RouteError, Routes};
+use crate::lid::Lid;
 use crate::pathdb::PathDb;
 use crate::verify::{verify_deadlock_free, PathStats};
 use hxtopo::{LinkClass, LinkId, SwitchId, Topology};
@@ -216,14 +217,25 @@ impl SubnetManager {
 
     /// Repairs only the destination trees whose paths traverse the (already
     /// deactivated) cable `l`, patching the PathDb and bumping the epoch.
-    /// State is committed only on success.
     fn reroute_incremental(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        let affected = self
+            .pathdb
+            .as_ref()
+            .expect("incremental needs a PathDb")
+            .affected_by(l);
+        self.patch_trees(affected, "reroute")
+    }
+
+    /// Re-runs the destination-rooted repair for the given LID trees against
+    /// the current topology, patching the PathDb and bumping the epoch.
+    /// State is committed only on success. `op` labels the obs span and
+    /// counters (`"reroute"` after a failure, `"recover"` after a repair).
+    fn patch_trees(&mut self, affected: Vec<Lid>, op: &str) -> Result<SweepReport, RouteError> {
         let obs = hxobs::sink();
         let t0 = std::time::Instant::now();
         let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
         let db = self.pathdb.clone().expect("incremental needs a PathDb");
         let routes = self.routes.as_ref().expect("incremental needs routes");
-        let affected = db.affected_by(l);
         let (new_routes, new_db) = if affected.is_empty() {
             // Nothing traversed the cable; the epoch still advances so
             // consumers observe the topology change.
@@ -270,7 +282,7 @@ impl SubnetManager {
             o.span(
                 hxobs::track::OPENSM,
                 0,
-                &format!("reroute:{}", self.engine.name()),
+                &format!("{op}:{}", self.engine.name()),
                 "route",
                 start_us,
                 o.now_us() - start_us,
@@ -282,7 +294,14 @@ impl SubnetManager {
                     ),
                 ],
             );
-            o.counter_add("route.incremental_reroutes", 1);
+            o.counter_add(
+                if op == "recover" {
+                    "route.incremental_recoveries"
+                } else {
+                    "route.incremental_reroutes"
+                },
+                1,
+            );
             o.counter_add("pathdb.patched_trees", affected.len() as u64);
             o.histogram_record("route.incremental_seconds", secs);
             o.gauge_set("pathdb.epoch", self.epoch as f64);
@@ -299,8 +318,92 @@ impl SubnetManager {
         })
     }
 
-    /// Repairs a cable and re-sweeps. Repairs are rare maintenance events;
-    /// restoring the engine's full balancing is worth the heavy sweep.
+    /// Recover-in-place: the incremental inverse of
+    /// [`SubnetManager::fail_link`]. Reactivates a cable and re-runs the
+    /// destination-rooted repair only for the LID trees the restored cable
+    /// could improve — the trees whose hop distance from the cable's two
+    /// endpoint switches differs by two or more (restoring an edge `(u, v)`
+    /// shortens a shortest-path tree iff `|d(u) - d(v)| >= 2`), plus any
+    /// tree an endpoint cannot currently reach at all. Unselected trees keep
+    /// their (valid) routes byte-for-byte, so the patched store stays
+    /// bit-identical to a from-scratch extraction of the live forwarding
+    /// state. Falls back to a full engine sweep when incremental state is
+    /// missing, the cable is a terminal (node membership change), or the
+    /// patch fails.
+    pub fn recover_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.counter_add("route.link_recoveries", 1);
+            o.instant(
+                hxobs::track::OPENSM,
+                0,
+                "recover_link",
+                "route",
+                o.now_us(),
+                vec![("link".to_string(), hxobs::Json::from(l.0 as u64))],
+            );
+        }
+        let try_incremental = self.incremental
+            && self.routes.is_some()
+            && self.pathdb.is_some()
+            && self.topo.link(l).class != LinkClass::Terminal
+            && !self.topo.is_active(l);
+        self.topo.activate(l);
+        if try_incremental {
+            let candidates = self.recover_candidates(l);
+            if let Ok(r) = self.patch_trees(candidates, "recover") {
+                return Ok(r);
+            }
+            // Patch failed (VL layering breakage under verify): fall through
+            // to the full resweep with state untouched.
+        }
+        match self.sweep() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // Keep the previous consistent state: a recovery must never
+                // leave the manager worse than before it.
+                self.topo.deactivate(l);
+                self.sweep()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Destination LID trees the (just reactivated) cable `l` could improve,
+    /// measured on the live forwarding state: LFT hop distances of the
+    /// cable's endpoint switches differing by >= 2, or an endpoint that
+    /// cannot reach the destination at all.
+    fn recover_candidates(&self, l: LinkId) -> Vec<Lid> {
+        let routes = self.routes.as_ref().expect("incremental needs routes");
+        let link = self.topo.link(l);
+        let (Some(u), Some(v)) = (link.a.switch(), link.b.switch()) else {
+            // Terminal cables are gated out by the caller.
+            return Vec::new();
+        };
+        let isl_hops = |sw: SwitchId, lid: Lid| -> Option<u32> {
+            let mut h = 0u32;
+            walk_lft(&self.topo, routes, sw, lid, |_| h += 1)
+                .ok()
+                .map(|_| h)
+        };
+        routes
+            .lid_map
+            .lids()
+            .filter_map(|(lid, _)| {
+                let improvable = match (isl_hops(u, lid), isl_hops(v, lid)) {
+                    (Some(a), Some(b)) => a.abs_diff(b) >= 2,
+                    // An endpoint has no (valid) route to this tree; the
+                    // restored cable may be what reconnects it.
+                    _ => true,
+                };
+                improvable.then_some(lid)
+            })
+            .collect()
+    }
+
+    /// Repairs a cable with a full re-sweep, restoring the engine's exact
+    /// balancing. [`SubnetManager::recover_link`] is the incremental variant
+    /// for churny campaigns where sweep latency matters.
     pub fn repair_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
         self.topo.activate(l);
         self.sweep()
@@ -416,6 +519,68 @@ mod tests {
         assert_eq!(r.patched_trees, 0);
         assert!(sm.pathdb().unwrap().content_eq(&before));
         assert_eq!(sm.pathdb().unwrap().epoch(), 2);
+    }
+
+    #[test]
+    fn recover_link_patch_matches_from_scratch_rebuild() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let healthy = sm.pathdb().unwrap().stats();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        sm.fail_link(isl).unwrap();
+        let r = sm.recover_link(isl).unwrap();
+        assert!(r.incremental, "ISL recovery should be patched in place");
+        assert!(sm.topo().is_active(isl));
+        assert_eq!(r.epoch, 3);
+        // Bit-identical to extracting the live forwarding state from scratch.
+        let rebuilt = PathDb::build(sm.topo(), sm.routes().unwrap(), r.epoch, 1).unwrap();
+        assert!(sm.pathdb().unwrap().content_eq(&rebuilt));
+        // The repaired trees shed the detour: path-length stats are back to
+        // the healthy distribution.
+        assert_eq!(sm.pathdb().unwrap().stats(), healthy);
+    }
+
+    #[test]
+    fn recover_active_link_bumps_epoch_only() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let before = sm.pathdb().unwrap().clone();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        // Recovering a cable that never failed must not patch in place (the
+        // gate sees it active) — it falls back to a clean sweep.
+        let r = sm.recover_link(isl).unwrap();
+        assert!(!r.incremental);
+        assert_eq!(r.epoch, 2);
+        assert!(sm.pathdb().unwrap().content_eq(&before));
+    }
+
+    #[test]
+    fn recover_terminal_link_resweeps() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let term = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class == LinkClass::Terminal)
+            .unwrap()
+            .0;
+        sm.topo.deactivate(term);
+        let r = sm.recover_link(term).unwrap();
+        assert!(!r.incremental, "terminal recovery changes node membership");
+        assert!(sm.topo().is_active(term));
     }
 
     #[test]

@@ -90,14 +90,16 @@ pub enum RemovedHalf {
     Bottom,
 }
 
-/// Rule applied when routing towards LID index `x`.
-pub fn rule_for_lid(x: u8) -> RemovedHalf {
+/// Rule applied when routing towards LID index `x`. `None` for indices
+/// outside the LMC=2 space — rules R1–R4 only cover four LIDs, and a
+/// non-LMC-2 deployment must not abort the sweep that asks.
+pub fn rule_for_lid(x: u8) -> Option<RemovedHalf> {
     match x {
-        0 => RemovedHalf::Left,
-        1 => RemovedHalf::Right,
-        2 => RemovedHalf::Top,
-        3 => RemovedHalf::Bottom,
-        _ => panic!("LID index {x} out of range (LMC=2)"),
+        0 => Some(RemovedHalf::Left),
+        1 => Some(RemovedHalf::Right),
+        2 => Some(RemovedHalf::Top),
+        3 => Some(RemovedHalf::Bottom),
+        _ => None,
     }
 }
 
@@ -172,7 +174,7 @@ mod tests {
         for s in Quadrant::all() {
             for d in Quadrant::all() {
                 for &x in lid_choices(s, d, SizeClass::Small) {
-                    let h = rule_for_lid(x);
+                    let h = rule_for_lid(x).unwrap();
                     let both_inside = quadrant_in_half(s, h) && quadrant_in_half(d, h);
                     assert!(
                         !both_inside,
@@ -189,7 +191,7 @@ mod tests {
         // rule removes that quadrant's half, forcing the detour of Fig. 3b.
         for q in Quadrant::all() {
             for &x in lid_choices(q, q, SizeClass::Large) {
-                let h = rule_for_lid(x);
+                let h = rule_for_lid(x).unwrap();
                 assert!(
                     quadrant_in_half(q, h),
                     "large {q:?}->{q:?} via LID{x} does not evict the quadrant"
@@ -227,9 +229,18 @@ mod tests {
 
     #[test]
     fn rules_cover_all_halves() {
-        assert_eq!(rule_for_lid(0), RemovedHalf::Left);
-        assert_eq!(rule_for_lid(1), RemovedHalf::Right);
-        assert_eq!(rule_for_lid(2), RemovedHalf::Top);
-        assert_eq!(rule_for_lid(3), RemovedHalf::Bottom);
+        assert_eq!(rule_for_lid(0), Some(RemovedHalf::Left));
+        assert_eq!(rule_for_lid(1), Some(RemovedHalf::Right));
+        assert_eq!(rule_for_lid(2), Some(RemovedHalf::Top));
+        assert_eq!(rule_for_lid(3), Some(RemovedHalf::Bottom));
+    }
+
+    #[test]
+    fn out_of_range_lid_has_no_rule() {
+        // Non-LMC-2 LID spaces (indices >= 4) carry no removal rule; the
+        // query must answer None rather than aborting the sweep.
+        for x in 4..=u8::MAX {
+            assert_eq!(rule_for_lid(x), None);
+        }
     }
 }

@@ -101,6 +101,63 @@ fn check_fault_sequence(
     Ok(())
 }
 
+fn inactive_isls(topo: &Topology) -> Vec<LinkId> {
+    topo.links()
+        .filter(|&(id, l)| l.class != LinkClass::Terminal && !topo.is_active(id))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Drives a randomized fail/recover interleaving through the subnet manager
+/// and checks after every event that the patched PathDb is bit-identical to
+/// a from-scratch extraction of the live forwarding state. Each op is a
+/// `(selector, index)` pair: even selectors fail an active ISL, odd ones
+/// recover a downed ISL (degrading to a failure while none is down).
+fn check_churn_sequence(
+    topo: &Topology,
+    engine: Box<dyn RoutingEngine>,
+    ops: &[(u8, usize)],
+) -> Result<(), TestCaseError> {
+    let name = engine.name();
+    let mut sm = SubnetManager::new(topo.clone(), engine);
+    sm.verify = false;
+    sm.sweep().unwrap();
+    for &(sel, k) in ops {
+        let down = inactive_isls(sm.topo());
+        let recover = sel % 2 == 1 && !down.is_empty();
+        let outcome = if recover {
+            sm.recover_link(down[k % down.len()])
+        } else {
+            let up = active_isls(sm.topo());
+            if up.is_empty() {
+                break;
+            }
+            sm.fail_link(up[k % up.len()])
+        };
+        let db = sm.pathdb().unwrap();
+        let rebuilt = PathDb::build(sm.topo(), sm.routes().unwrap(), db.epoch(), 1)
+            .map_err(|e| TestCaseError::Fail(format!("{name}: rebuild failed: {e}")))?;
+        prop_assert!(
+            db.content_eq(&rebuilt),
+            "{name}: store diverges from rebuild after {} (outcome {:?})",
+            if recover { "recover" } else { "fail" },
+            outcome.map(|r| r.incremental)
+        );
+        prop_assert_eq!(db.epoch(), sm.epoch(), "{} epoch stamp", name);
+    }
+    // Recover everything still down: the fabric must return to full health
+    // and the store must still match a clean extraction.
+    for l in inactive_isls(sm.topo()) {
+        sm.recover_link(l)
+            .map_err(|e| TestCaseError::Fail(format!("{name}: final recover failed: {e}")))?;
+    }
+    let db = sm.pathdb().unwrap();
+    let rebuilt = PathDb::build(sm.topo(), sm.routes().unwrap(), db.epoch(), 1)
+        .map_err(|e| TestCaseError::Fail(format!("{name}: healed rebuild failed: {e}")))?;
+    prop_assert!(db.content_eq(&rebuilt), "{name}: healed store diverges");
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -125,6 +182,30 @@ proptest! {
         let topo = mini_fattree();
         for engine in fattree_engines() {
             check_fault_sequence(&topo, engine, &kills)?;
+        }
+    }
+
+    /// Fail/recover churn equals a from-scratch resweep extraction on
+    /// HyperX planes, for every engine and any interleaving.
+    #[test]
+    fn hyperx_churn_matches_rebuild(
+        t in 1u32..3,
+        ops in proptest::collection::vec((0u8..=255, 0usize..10_000), 2..6),
+    ) {
+        let topo = HyperXConfig::new(vec![4, 4], t).build();
+        for engine in hyperx_engines() {
+            check_churn_sequence(&topo, engine, &ops)?;
+        }
+    }
+
+    /// Same churn property on the staged-Clos Fat-Tree plane.
+    #[test]
+    fn fattree_churn_matches_rebuild(
+        ops in proptest::collection::vec((0u8..=255, 0usize..10_000), 2..6),
+    ) {
+        let topo = mini_fattree();
+        for engine in fattree_engines() {
+            check_churn_sequence(&topo, engine, &ops)?;
         }
     }
 

@@ -202,6 +202,21 @@ impl FluidNet {
         }
     }
 
+    /// Moves a live flow onto a new path, keeping its remaining bytes: the
+    /// live-reroute primitive for epoch swaps mid-campaign. The flow's rate
+    /// epoch bumps so stale completion entries die, and the solver sees a
+    /// remove+add on the same id — its dirty-set machinery re-solves only
+    /// the cables the old and new paths touch. Caller must
+    /// [`FluidNet::recompute`] before querying completions again.
+    pub fn repath(&mut self, id: FlowId, path: &[DirLink]) {
+        assert!(self.flows[id].is_some(), "repath of a dead flow {id}");
+        self.epochs[id] = self.epochs[id].wrapping_add(1);
+        self.rates.invalidate(id);
+        self.solver.remove(id);
+        self.solver.add(id, path);
+        self.dirty = true;
+    }
+
     /// Re-solves the max-min fair rates for the current flow set (no-op if
     /// nothing changed since the last solve) and refreshes the completion
     /// heap for every flow whose rate bits moved.
@@ -507,6 +522,83 @@ mod tests {
         net.recompute();
         let t2 = net.next_completion().unwrap();
         assert!(t2 > t1 * 100.0, "stale entry leaked: {t2} vs {t1}");
+    }
+
+    /// Two parallel cables between the same switch pair, for repath tests.
+    fn parallel_dumbbell() -> (Topology, DirLink, DirLink) {
+        let mut b = TopologyBuilder::new("parallel-dumbbell", 2);
+        b.attach_node(SwitchId(0));
+        b.attach_node(SwitchId(1));
+        let l0 = b.link_switches(SwitchId(0), SwitchId(1), LinkClass::Aoc);
+        let l1 = b.link_switches(SwitchId(0), SwitchId(1), LinkClass::Aoc);
+        (b.build(), DirLink::new(l0, true), DirLink::new(l1, true))
+    }
+
+    #[test]
+    fn repath_moves_flow_and_keeps_remaining() {
+        // Two flows share cable 0 at cap/2 each. Half-way through, one is
+        // repathed onto the idle cable 1: both then run at full cap, and the
+        // carried bytes split across the cables accordingly.
+        let (t, c0, c1) = parallel_dumbbell();
+        let cap = t.link(c0.link()).capacity;
+        let b = 1u64 << 30;
+        let unit = b as f64 / cap;
+        let mut net = FluidNet::new(&t);
+        let stay = net.add_flow(vec![c0], b);
+        let mover = net.add_flow(vec![c0], b);
+        net.recompute();
+        // At t = unit each flow (rate cap/2) has b/2 left.
+        net.advance_to(unit);
+        net.repath(mover, &[c1]);
+        net.recompute();
+        assert!((net.flow_remaining(mover).unwrap() - b as f64 / 2.0).abs() < 1.0);
+        assert_eq!(net.flow_rate(stay).unwrap(), cap);
+        assert_eq!(net.flow_rate(mover).unwrap(), cap);
+        // Both finish half a unit later.
+        let tc = net.next_completion().unwrap();
+        assert!((tc - 1.5 * unit).abs() < unit * 1e-9, "tc {tc}");
+        net.advance_to(tc);
+        assert_eq!(net.drained().len(), 2);
+        // Carried: cable 0 got b (shared phase) + b/2 (stayer alone);
+        // cable 1 got the mover's second half.
+        assert!((net.carried[c0.index()] - 1.5 * b as f64).abs() < 2.0);
+        assert!((net.carried[c1.index()] - 0.5 * b as f64).abs() < 2.0);
+    }
+
+    #[test]
+    fn both_engines_agree_under_repath_churn() {
+        // The Exact and Incremental engines must stay bit-identical through
+        // repath events, not just add/remove.
+        let run = |kind: SolverKind| -> Vec<u64> {
+            let (t, c0, c1) = parallel_dumbbell();
+            let mut net = FluidNet::with_solver(&t, kind);
+            let a = net.add_flow(vec![c0], 1 << 30);
+            let b = net.add_flow(vec![c0], 1 << 29);
+            let c = net.add_flow(vec![c1], 1 << 28);
+            net.recompute();
+            let t1 = net.next_completion().unwrap();
+            net.advance_to(t1 * 0.5);
+            net.repath(b, &[c1]);
+            net.recompute();
+            net.advance_to(t1 * 0.75);
+            net.repath(c, &[c0, c1]);
+            net.recompute();
+            let mut out = Vec::new();
+            let mut done = Vec::new();
+            while net.active_flows() > 0 {
+                let tc = net.next_completion().unwrap();
+                net.advance_to(tc);
+                net.drained_into(&mut done);
+                for &id in &done {
+                    out.push(tc.to_bits());
+                    net.remove(id);
+                }
+                net.recompute();
+            }
+            let _ = (a, b, c);
+            out
+        };
+        assert_eq!(run(SolverKind::Exact), run(SolverKind::Incremental));
     }
 
     #[cfg(debug_assertions)]

@@ -44,20 +44,26 @@ impl Quadrant {
         }
     }
 
-    /// From numeric index.
-    pub fn from_index(i: usize) -> Quadrant {
-        match i {
-            0 => Quadrant::Q0,
-            1 => Quadrant::Q1,
-            2 => Quadrant::Q2,
-            3 => Quadrant::Q3,
-            _ => panic!("quadrant index {i} out of range"),
-        }
-    }
-
     /// All quadrants.
     pub fn all() -> [Quadrant; 4] {
         [Quadrant::Q0, Quadrant::Q1, Quadrant::Q2, Quadrant::Q3]
+    }
+}
+
+impl TryFrom<usize> for Quadrant {
+    type Error = usize;
+
+    /// Fallible inverse of [`Quadrant::index`]; the offending index is the
+    /// error. A 2-D HyperX only ever has four quadrants, but callers decode
+    /// indices from LID arithmetic, where out-of-range values are data.
+    fn try_from(i: usize) -> Result<Quadrant, usize> {
+        match i {
+            0 => Ok(Quadrant::Q0),
+            1 => Ok(Quadrant::Q1),
+            2 => Ok(Quadrant::Q2),
+            3 => Ok(Quadrant::Q3),
+            _ => Err(i),
+        }
     }
 }
 
@@ -294,6 +300,15 @@ mod tests {
             assert_eq!(hx.switch_at(&coord), s);
             assert!(coord[0] < 12 && coord[1] < 8);
         }
+    }
+
+    #[test]
+    fn quadrant_index_roundtrip_and_bounds() {
+        for q in Quadrant::all() {
+            assert_eq!(Quadrant::try_from(q.index()), Ok(q));
+        }
+        assert_eq!(Quadrant::try_from(4), Err(4));
+        assert_eq!(Quadrant::try_from(usize::MAX), Err(usize::MAX));
     }
 
     #[test]

@@ -35,10 +35,10 @@ fn main() {
     let oblivious = Parx::default().route(&topo).unwrap();
     for x in 0..4u32 {
         let p = oblivious.path_to(&topo, a, b, x).unwrap();
+        let rule = t2hx::route::table1::rule_for_lid(x as u8).expect("LMC=2 index");
         println!(
-            "  path to LID{x}: {} ISL hops (rule removes the {:?} half)",
+            "  path to LID{x}: {} ISL hops (rule removes the {rule:?} half)",
             p.isl_hops(),
-            t2hx::route::table1::rule_for_lid(x as u8)
         );
     }
 

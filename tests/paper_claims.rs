@@ -4,6 +4,13 @@
 //! under plain `cargo test` debug runs where routing the full system is
 //! slow. Run with `cargo test --release -- --ignored` or via the bench
 //! harnesses.
+//!
+//! Each full-scale claim also has a `_quick` variant that runs on every
+//! plain `cargo test`: a 168-node dual-plane slice (24 full 7-node HyperX
+//! switches — dense enough to reproduce every effect) routed in well under
+//! a second even in debug mode. The quick bands were calibrated
+//! empirically and sit inside the full-scale bands wherever the claim is
+//! scale-independent.
 
 use std::sync::OnceLock;
 use t2hx::core::{Combo, T2hx};
@@ -16,8 +23,16 @@ fn sys() -> &'static T2hx {
     SYS.get_or_init(|| T2hx::build(672, true).expect("full system"))
 }
 
-fn linear_fabric(combo: Combo, n: usize) -> Fabric<'static> {
-    let s = sys();
+/// The CI-sized slice: same 12x8 switch grid, same fault plan, but only
+/// 168 nodes — the first 24 HyperX switches carry the paper's full 7
+/// nodes each, so contention effects (Figure 1, eBB, PARX detours) appear
+/// at full strength.
+fn quick_sys() -> &'static T2hx {
+    static QS: OnceLock<T2hx> = OnceLock::new();
+    QS.get_or_init(|| T2hx::build(168, true).expect("quick system"))
+}
+
+fn fabric_of(s: &T2hx, combo: Combo, n: usize) -> Fabric<'_> {
     Fabric::new(
         s.topo(combo),
         s.routes(combo),
@@ -25,6 +40,10 @@ fn linear_fabric(combo: Combo, n: usize) -> Fabric<'static> {
         combo.pml(),
         s.params,
     )
+}
+
+fn linear_fabric(combo: Combo, n: usize) -> Fabric<'static> {
+    fabric_of(sys(), combo, n)
 }
 
 #[test]
@@ -129,6 +148,131 @@ fn claim_capacity_totals_in_band() {
         let total = res.total_runs();
         assert!(
             (900..1500).contains(&total),
+            "{}: {total} runs",
+            combo.label()
+        );
+    }
+}
+
+// ---- CI-sized variants: same assertions, 168-node slice, every run ----
+
+#[test]
+fn claim_bisection_bandwidths_quick() {
+    // Scale-independent: the bisection ratio is a property of the full
+    // 12x8 grid and the Clos wiring, and computing it needs no routing —
+    // so the quick variant pins the exact full-scale numbers.
+    use t2hx::topo::fattree::FatTreeConfig;
+    use t2hx::topo::hyperx::HyperXConfig;
+    let hx = TopologyProps::bisection_ratio(&HyperXConfig::t2_hyperx(672).build());
+    assert!((0.50..0.60).contains(&hx), "HyperX bisection {hx}");
+    let ft = TopologyProps::bisection_ratio(&FatTreeConfig::tsubame2(672));
+    assert!(ft > 1.0, "Fat-Tree bisection {ft}");
+}
+
+#[test]
+fn claim_vl_budgets_quick() {
+    // Hardware VL budgets hold on the slice (measured: 2 VLs each).
+    let s = quick_sys();
+    assert!(
+        s.hx_dfsssp.num_vls <= 3,
+        "DFSSSP {} VLs",
+        s.hx_dfsssp.num_vls
+    );
+    assert!(s.hx_parx.num_vls <= 8, "PARX {} VLs", s.hx_parx.num_vls);
+    assert!(s.hx_parx.num_vls >= s.hx_dfsssp.num_vls);
+}
+
+#[test]
+fn claim_figure1_bandwidth_ordering_quick() {
+    // Figure 1's ordering and the PARX recovery band reproduce on the
+    // slice (measured: ft 2.95 > px 2.45 > hx 1.36, gain +0.80).
+    let s = quick_sys();
+    let n = 28;
+    let bytes = 1 << 20;
+    let ft = average_bandwidth(&mpigraph(&fabric_of(s, Combo::FtFtreeLinear, n), n, bytes));
+    let hx = average_bandwidth(&mpigraph(&fabric_of(s, Combo::HxDfssspLinear, n), n, bytes));
+    let px = average_bandwidth(&mpigraph(
+        &fabric_of(s, Combo::HxParxClustered, n),
+        n,
+        bytes,
+    ));
+    assert!(ft > px && px > hx, "ordering: ft {ft} px {px} hx {hx}");
+    let gain = px / hx - 1.0;
+    assert!(
+        (0.3..1.2).contains(&gain),
+        "PARX recovery {gain:+.2} (paper +0.66)"
+    );
+}
+
+#[test]
+fn claim_parx_barrier_band_quick() {
+    // Figure 5b's band at the slice's job sizes (measured: -0.63, -0.48).
+    let s = quick_sys();
+    let r = t2hx::core::Runner::default();
+    use t2hx::load::imb::ImbCollective;
+    for n in [7usize, 56] {
+        let g = r.imb_gain(s, Combo::HxParxClustered, ImbCollective::Barrier, n, 0);
+        assert!((-0.90..=-0.40).contains(&g), "n={n}: PARX barrier gain {g}");
+    }
+}
+
+#[test]
+fn claim_ebb_parx_recovers_dense_case_quick() {
+    // Figure 5c's dense case is 14 nodes — two full switches — which the
+    // slice carries verbatim (measured ratio: 1.57x).
+    use t2hx::load::ebb::effective_bisection_bandwidth;
+    let s = quick_sys();
+    let n = 14;
+    let dfsssp = {
+        let f = fabric_of(s, Combo::HxDfssspLinear, n);
+        let v = effective_bisection_bandwidth(&f, n, 1 << 20, 40, 1);
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let parx = {
+        let f = fabric_of(s, Combo::HxParxClustered, n);
+        let v = effective_bisection_bandwidth(&f, n, 1 << 20, 40, 1);
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let ratio = parx / dfsssp;
+    assert!(
+        (1.3..2.5).contains(&ratio),
+        "PARX eBB recovery {ratio:.2}x (paper ~1.9x)"
+    );
+}
+
+#[test]
+fn claim_capacity_totals_in_band_quick() {
+    // Figure 7 shrunk to the slice: a three-app mix sized for 168 nodes,
+    // totals pinned to the measured band (805-815 across combos).
+    use t2hx::cap::{AppSlot, CapacityConfig};
+    use t2hx::core::run_capacity_combo;
+    use t2hx::load::proxy::{Amg, Swfft};
+    use t2hx::load::x500::Hpl;
+    let quick_mix = || -> Vec<AppSlot> {
+        vec![
+            AppSlot {
+                workload: Box::new(Amg { iters: 10 }),
+                nodes: 48,
+            },
+            AppSlot {
+                workload: Box::new(Swfft {
+                    reps: 4,
+                    local_bytes: 64 << 20,
+                }),
+                nodes: 56,
+            },
+            AppSlot {
+                workload: Box::new(Hpl { steps: 8 }),
+                nodes: 28,
+            },
+        ]
+    };
+    let s = quick_sys();
+    for combo in Combo::all() {
+        let res = run_capacity_combo(s, combo, &quick_mix(), &CapacityConfig::default(), 7);
+        let total = res.total_runs();
+        assert!(
+            (700..900).contains(&total),
             "{}: {total} runs",
             combo.label()
         );
