@@ -30,25 +30,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const HARNESSES: &[&str] = &[
-    "fig01_mpigraph",
-    "fig02_topologies",
-    "tab01_quadrants",
-    "tab02_benchmarks",
-    "fig04_imb_collectives",
-    "fig05a_deepbench",
-    "fig05b_barrier",
-    "fig05c_ebb",
-    "fig06_proxy_apps",
-    "fig06_x500",
-    "fig07_capacity",
-    "ablation_parx",
-    "parx_pipeline",
-    "dark_fiber",
-    "cost_study",
-    "fault_resilience",
-    "fault_campaign",
-];
+/// The registry lives in the library ([`hxbench::HARNESSES`]) so that
+/// `--list`, the README table and `tests/registry_sync.rs` all see one
+/// source of truth.
+fn harness_names() -> Vec<&'static str> {
+    hxbench::HARNESSES.iter().map(|h| h.name).collect()
+}
 
 /// Where this run's outputs go: `$T2HX_RESULTS_DIR`, else `results/` in
 /// full mode and `results/quick/` in quick mode.
@@ -71,10 +58,9 @@ fn guard_against_clobber(dir: &Path) {
     if !hxbench::quick() || dir != Path::new("results") {
         return;
     }
-    let existing: Vec<&str> = HARNESSES
-        .iter()
+    let existing: Vec<&str> = harness_names()
+        .into_iter()
         .filter(|name| dir.join(format!("{name}.txt")).exists())
-        .copied()
         .collect();
     if !existing.is_empty() {
         eprintln!(
@@ -96,8 +82,8 @@ fn select_harnesses() -> Vec<&'static str> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => {
-                for name in HARNESSES {
-                    println!("{name}");
+                for h in hxbench::HARNESSES {
+                    println!("{:<24} {}", h.name, h.about);
                 }
                 std::process::exit(0);
             }
@@ -116,12 +102,11 @@ fn select_harnesses() -> Vec<&'static str> {
         }
     }
     if only.is_empty() {
-        return HARNESSES.to_vec();
+        return harness_names();
     }
-    let selected: Vec<&'static str> = HARNESSES
-        .iter()
+    let selected: Vec<&'static str> = harness_names()
+        .into_iter()
         .filter(|name| only.iter().any(|pat| name.contains(pat.as_str())))
-        .copied()
         .collect();
     if selected.is_empty() {
         eprintln!("--only filter(s) {only:?} match no harness; try --list");

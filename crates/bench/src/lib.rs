@@ -1,27 +1,106 @@
-//! # hxbench — reproduction harnesses and Criterion benchmarks
+//! # hxbench — reproduction harnesses, Criterion benchmarks and hxperf
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index):
-//!
-//! | binary | reproduces |
-//! |---|---|
-//! | `fig01_mpigraph` | Figure 1 — 28-node mpiGraph bandwidth heatmaps |
-//! | `fig02_topologies` | Figure 2 — topology structure validation |
-//! | `tab01_quadrants` | Table 1 + Figure 3 — PARX LID selection audit |
-//! | `tab02_benchmarks` | Table 2 — benchmark roster |
-//! | `fig04_imb_collectives` | Figure 4 — IMB relative-gain grids |
-//! | `fig05a_deepbench` | Figure 5a — Baidu ring-allreduce grid |
-//! | `fig05b_barrier` | Figure 5b — Barrier whiskers |
-//! | `fig05c_ebb` | Figure 5c — effective bisection bandwidth |
-//! | `fig06_proxy_apps` | Figure 6a–i — proxy-app whiskers |
-//! | `fig06_x500` | Figure 6j–l — HPL/HPCG/Graph500 |
-//! | `fig07_capacity` | Figure 7 — capacity throughput |
-//! | `ablation_parx` | DESIGN.md §3 ablations (threshold, demand, +1/+w) |
+//! One binary per table/figure of the paper, plus study harnesses and the
+//! [`perf`] benchmark-trajectory driver. The authoritative list is
+//! [`HARNESSES`] (what `run_all` executes, what `run_all --list` prints,
+//! and what README.md's harness table must mirror — pinned by
+//! `tests/registry_sync.rs`). See DESIGN.md §4 for the figure index and
+//! DESIGN.md §10 for hxperf.
 //!
 //! Environment knobs: `T2HX_QUICK=1` shrinks sweeps for smoke runs;
-//! `T2HX_SAMPLES=n` overrides the eBB sample count.
+//! `T2HX_SAMPLES=n` overrides the eBB sample count; see README.md for the
+//! consolidated `T2HX_*` table.
+
+pub mod perf;
 
 use hxcore::T2hx;
+
+/// One runnable harness binary: its name (also the cargo `--bin` name)
+/// and a one-line description of what it reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Harness {
+    /// Binary name under `crates/bench/src/bin/`.
+    pub name: &'static str,
+    /// What the harness reproduces or measures.
+    pub about: &'static str,
+}
+
+/// Every harness `run_all` drives, in execution order. `hxperf` runs last
+/// so its trajectory point reflects the same build as the figures.
+pub const HARNESSES: &[Harness] = &[
+    Harness {
+        name: "fig01_mpigraph",
+        about: "Figure 1 — 28-node mpiGraph bandwidth heatmaps",
+    },
+    Harness {
+        name: "fig02_topologies",
+        about: "Figure 2 — topology structure validation",
+    },
+    Harness {
+        name: "tab01_quadrants",
+        about: "Table 1 + Figure 3 — PARX LID selection audit",
+    },
+    Harness {
+        name: "tab02_benchmarks",
+        about: "Table 2 — benchmark roster",
+    },
+    Harness {
+        name: "fig04_imb_collectives",
+        about: "Figure 4 — IMB relative-gain grids",
+    },
+    Harness {
+        name: "fig05a_deepbench",
+        about: "Figure 5a — Baidu ring-allreduce grid",
+    },
+    Harness {
+        name: "fig05b_barrier",
+        about: "Figure 5b — Barrier whiskers",
+    },
+    Harness {
+        name: "fig05c_ebb",
+        about: "Figure 5c — effective bisection bandwidth",
+    },
+    Harness {
+        name: "fig06_proxy_apps",
+        about: "Figure 6a–i — proxy-app whiskers",
+    },
+    Harness {
+        name: "fig06_x500",
+        about: "Figure 6j–l — HPL/HPCG/Graph500",
+    },
+    Harness {
+        name: "fig07_capacity",
+        about: "Figure 7 — capacity throughput",
+    },
+    Harness {
+        name: "ablation_parx",
+        about: "DESIGN.md §3 ablations (threshold, demand, +1/+w)",
+    },
+    Harness {
+        name: "parx_pipeline",
+        about: "PARX quadrant pipeline walkthrough",
+    },
+    Harness {
+        name: "dark_fiber",
+        about: "dark-fiber what-if study (healing the 15 missing AOCs)",
+    },
+    Harness {
+        name: "cost_study",
+        about: "Section 2.3 cost model — HyperX vs Fat-Tree parts",
+    },
+    Harness {
+        name: "fault_resilience",
+        about: "fault-sweep resilience study (link kills vs eBB)",
+    },
+    Harness {
+        name: "fault_campaign",
+        about: "seeded MTBF/MTTR fault-churn campaign",
+    },
+    Harness {
+        name: "hxperf",
+        about: "benchmark-trajectory point + perf-regression gate",
+    },
+];
 
 /// Whether quick (CI-sized) mode is requested.
 pub fn quick() -> bool {

@@ -1,0 +1,281 @@
+//! The hxperf kernel registry: one entry per hot path the repo has grown.
+//!
+//! Every kernel prepares its workload outside the timed region (topology
+//! build, routing sweep, flow setup), then measures only the operation the
+//! per-PR speedups were claimed on: the PathDb extraction, the incremental
+//! fail/recover patch, the congestion re-solve under churn, the DES event
+//! loop, the eBB/mpiGraph sampling inner loops, and the campaign
+//! fail→propagate→recover round-trip.
+//!
+//! Full mode runs on the paper's degraded plane (12x8 HyperX, T = 7, 672
+//! nodes, the 15 missing AOCs); `T2HX_QUICK=1` shrinks to a 6x4 T = 2
+//! plane (48 nodes) so a CI smoke pass stays in tens of seconds. The
+//! scale label embedded in each record keeps the two populations from
+//! ever being compared against each other.
+
+use super::{time_loop, time_loop_batched, Kernel};
+use hxcore::{with_stepper, CampaignConfig};
+use hxload::ebb::{effective_bisection_bandwidth, EBB_BYTES};
+use hxload::mpigraph::mpigraph;
+use hxmpi::{Fabric, Placement, Pml, ScheduleBuilder};
+use hxroute::engines::{Dfsssp, RoutingEngine};
+use hxroute::{DirLink, PathDb, SubnetManager};
+use hxsim::{FluidNet, NetParams, Simulator, SolverKind};
+use hxtopo::hyperx::HyperXConfig;
+use hxtopo::{FaultPlan, LinkClass, LinkId, NodeId, Topology};
+
+/// All registered kernels, in the order `hxperf --list` prints them.
+pub const ALL: &[Kernel] = &[
+    Kernel {
+        name: "pathdb_build",
+        about: "full PathDb extraction from swept routes (threads auto)",
+        collect: pathdb_build,
+    },
+    Kernel {
+        name: "fail_in_place",
+        about: "incremental fail_link patch of one healthy ISL",
+        collect: fail_in_place,
+    },
+    Kernel {
+        name: "recover_link",
+        about: "incremental recover_link patch restoring that ISL",
+        collect: recover_link,
+    },
+    Kernel {
+        name: "recompute_exact",
+        about: "single-flow churn re-solve, Exact oracle backend",
+        collect: recompute_exact,
+    },
+    Kernel {
+        name: "recompute_incremental",
+        about: "single-flow churn re-solve, Incremental dirty-set backend",
+        collect: recompute_incremental,
+    },
+    Kernel {
+        name: "des_churn",
+        about: "full DES run of an alltoall+allreduce under flow churn",
+        collect: des_churn,
+    },
+    Kernel {
+        name: "ebb_sample",
+        about: "batch of random-bisection eBB samples (max-min rates)",
+        collect: ebb_sample,
+    },
+    Kernel {
+        name: "mpigraph",
+        about: "full mpiGraph shifted-round bandwidth matrix",
+        collect: mpigraph_matrix,
+    },
+    Kernel {
+        name: "campaign_step",
+        about: "one live fail→propagate→recover campaign round-trip",
+        collect: campaign_step,
+    },
+];
+
+/// The measured plane: the paper's degraded 12x8 T=7 HyperX in full mode,
+/// a 6x4 T=2 miniature in quick mode. Returns `(topology, scale label)`.
+fn plane(quick: bool) -> (Topology, &'static str) {
+    if quick {
+        (HyperXConfig::new(vec![6, 4], 2).build(), "hx-6x4-t2")
+    } else {
+        let mut topo = HyperXConfig::t2_hyperx(672).build();
+        FaultPlan::t2_hyperx().apply(&mut topo);
+        (topo, "hx-12x8-t7+15aoc")
+    }
+}
+
+/// A healthy non-terminal cable to kill (prefers the fault-prone AOC
+/// class, falling back to copper on the quick plane's single-rack layout).
+fn victim_isl(topo: &Topology) -> LinkId {
+    topo.links()
+        .filter(|&(id, l)| l.class != LinkClass::Terminal && topo.is_active(id))
+        .max_by_key(|&(_, l)| l.class == LinkClass::Aoc)
+        .map(|(id, _)| id)
+        .expect("an active ISL to kill")
+}
+
+fn pathdb_build(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let ns = time_loop(warmup, samples, || {
+        PathDb::build(&topo, &routes, 1, 0).unwrap();
+    });
+    (scale.to_string(), ns)
+}
+
+/// Swept state shared by the fail/recover kernels.
+fn swept(topo: &Topology) -> SubnetManager {
+    let mut sm = SubnetManager::new(topo.clone(), Box::new(Dfsssp::default()));
+    sm.verify = false;
+    sm.sweep().unwrap();
+    sm
+}
+
+/// Clones a manager's state into a fresh incremental-mode manager.
+fn clone_sm(sm: &SubnetManager) -> SubnetManager {
+    let mut c = SubnetManager::with_state(
+        sm.topo().clone(),
+        Box::new(Dfsssp::default()),
+        sm.routes().unwrap().clone(),
+        sm.pathdb().unwrap().clone(),
+    );
+    c.verify = false;
+    c.incremental = true;
+    c
+}
+
+fn fail_in_place(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let base = swept(&topo);
+    let victim = victim_isl(&topo);
+    let ns = time_loop_batched(
+        warmup,
+        samples,
+        || clone_sm(&base),
+        |mut sm| {
+            sm.fail_link(victim).unwrap();
+        },
+    );
+    (scale.to_string(), ns)
+}
+
+fn recover_link(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let mut base = swept(&topo);
+    let victim = victim_isl(&topo);
+    base.fail_link(victim).unwrap();
+    let ns = time_loop_batched(
+        warmup,
+        samples,
+        || clone_sm(&base),
+        |mut sm| {
+            sm.recover_link(victim).unwrap();
+        },
+    );
+    (scale.to_string(), ns)
+}
+
+/// The §8 churn workload: disjoint jobs running internal shift
+/// permutations, so component decomposition has something to exploit.
+fn churn_paths(topo: &Topology, quick: bool) -> Vec<Vec<DirLink>> {
+    let routes = Dfsssp::default().route(topo).unwrap();
+    let n = topo.nodes().count();
+    let (job, shift) = if quick { (12, 3) } else { (42, 7) };
+    (0..n)
+        .map(|i| {
+            let src = NodeId(i as u32);
+            let dst = NodeId(((i / job) * job + (i % job + shift) % job) as u32);
+            routes.path_to(topo, src, dst, 0).unwrap().hops
+        })
+        .collect()
+}
+
+fn recompute(quick: bool, warmup: usize, samples: usize, kind: SolverKind) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let paths = churn_paths(&topo, quick);
+    let mut net = FluidNet::with_solver(&topo, kind);
+    let ids: Vec<_> = paths.iter().map(|p| net.add_flow_ref(p, 1 << 30)).collect();
+    net.recompute();
+    let mut vic = 0usize;
+    let ns = time_loop(warmup, samples, || {
+        // Churn one flow: remove, re-solve, put it back, re-solve. The
+        // LIFO free list hands the same id straight back.
+        let v = vic % ids.len();
+        vic = vic.wrapping_add(271);
+        net.remove(ids[v]);
+        net.recompute();
+        let id = net.add_flow_ref(&paths[v], 1 << 30);
+        assert_eq!(id, ids[v]);
+        net.recompute();
+    });
+    (format!("{scale}/{}", kind.label()), ns)
+}
+
+fn recompute_exact(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    recompute(quick, warmup, samples, SolverKind::Exact)
+}
+
+fn recompute_incremental(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    recompute(quick, warmup, samples, SolverKind::Incremental)
+}
+
+fn des_churn(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    let n = if quick { 16 } else { 64 };
+    let mut sb = ScheduleBuilder::new(n);
+    sb.alltoall(4096);
+    sb.allreduce(1 << 16);
+    let program = sb.build();
+    let params = NetParams::qdr().with_solver(SolverKind::Incremental);
+    let fabric = Fabric::new(
+        &topo,
+        &routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        params,
+    );
+    let sim = Simulator::new(&topo, &fabric, params);
+    let ns = time_loop(warmup, samples, || {
+        sim.run(&program);
+    });
+    (format!("{scale}/n{n}"), ns)
+}
+
+fn ebb_sample(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    let (n, batch) = if quick { (16, 4) } else { (112, 16) };
+    let params = NetParams::qdr();
+    let fabric = Fabric::new(
+        &topo,
+        &routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        params,
+    );
+    let ns = time_loop(warmup, samples, || {
+        effective_bisection_bandwidth(&fabric, n, EBB_BYTES, batch, 42);
+    });
+    (format!("{scale}/n{n}x{batch}"), ns)
+}
+
+fn mpigraph_matrix(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let nodes: Vec<NodeId> = topo.nodes().collect();
+    let n = if quick { 12 } else { 28 };
+    let params = NetParams::qdr();
+    let fabric = Fabric::new(
+        &topo,
+        &routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        params,
+    );
+    let ns = time_loop(warmup, samples, || {
+        mpigraph(&fabric, n, 1 << 20);
+    });
+    (format!("{scale}/n{n}"), ns)
+}
+
+fn campaign_step(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let cfg = CampaignConfig {
+        seed: 0x7258,
+        flows: 16,
+        bytes: 8 << 20,
+        solver: SolverKind::Incremental,
+        ..CampaignConfig::default()
+    };
+    let ns = with_stepper(&topo, Box::new(Dfsssp::default()), &cfg, |s| {
+        time_loop(warmup, samples, || {
+            s.step();
+        })
+    })
+    .unwrap();
+    (format!("{scale}/f{}", cfg.flows), ns)
+}

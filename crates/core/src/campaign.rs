@@ -2,7 +2,7 @@
 //! cable failures and recoveries driven against a live workload.
 //!
 //! The paper's fail-in-place argument (Section 4.4.3, citing Domke et al.
-//! [15]) is about *sustained operation under churn*, not a single snapshot:
+//! \[15\]) is about *sustained operation under churn*, not a single snapshot:
 //! cables die, get swapped, and the subnet manager must keep the fabric
 //! routed the whole time. This module closes that loop:
 //!
@@ -166,6 +166,35 @@ struct FlowCtx {
     started: f64,
 }
 
+/// Stream-separation constants: the workload and the fault schedule derive
+/// independent `ChaCha8Rng` streams from the master seed with these xors.
+const WORK_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+const FAULT_STREAM: u64 = 0x5851_f42d_4c95_7f2d;
+
+/// Live epoch propagation shared by the campaign loop and the
+/// [`CampaignStepper`]: installs the manager's freshly-patched path store
+/// into the fabric and re-paths every in-flight flow through it.
+fn propagate_epoch(
+    sm: &SubnetManager,
+    fabric: &Fabric<'_>,
+    net: &mut FluidNet,
+    ctx: &[Option<FlowCtx>],
+    bytes: u64,
+) {
+    let db = sm.pathdb().expect("campaign manager keeps a store");
+    fabric.install_pathdb(db.clone());
+    if let Some(o) = hxobs::sink() {
+        use hxobs::Recorder;
+        o.gauge_set("pathdb.epoch", db.epoch() as f64);
+    }
+    for (id, c) in ctx.iter().enumerate() {
+        let Some(c) = c else { continue };
+        let rp = fabric.resolve(c.src, c.dst, bytes, c.seq);
+        net.repath(id, &rp.hops);
+    }
+    net.recompute();
+}
+
 /// Exponential inter-arrival sample (inverse CDF; `1 - u` dodges `ln(0)`).
 fn exp_sample(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
     -mean * (1.0 - rng.gen::<f64>()).ln()
@@ -277,18 +306,7 @@ impl CampaignRun<'_> {
     /// Live epoch propagation: installs the freshly-patched path store into
     /// the fabric and re-paths every in-flight flow through it.
     fn propagate(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>]) {
-        let db = self.sm.pathdb().expect("campaign manager keeps a store");
-        self.fabric.install_pathdb(db.clone());
-        if let Some(o) = hxobs::sink() {
-            use hxobs::Recorder;
-            o.gauge_set("pathdb.epoch", db.epoch() as f64);
-        }
-        for (id, c) in ctx.iter().enumerate() {
-            let Some(c) = c else { continue };
-            let rp = self.fabric.resolve(c.src, c.dst, self.cfg.bytes, c.seq);
-            net.repath(id, &rp.hops);
-        }
-        net.recompute();
+        propagate_epoch(self.sm, self.fabric, net, ctx, self.cfg.bytes);
     }
 
     /// Runs the closed-loop workload; `churn` switches the fault process on.
@@ -298,8 +316,8 @@ impl CampaignRun<'_> {
         let n = self.fabric.placement.num_ranks();
         // Independent streams: the workload draw sequence must not shift
         // when the fault schedule consumes differently (and vice versa).
-        let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut fault_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ WORK_STREAM);
+        let mut fault_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ FAULT_STREAM);
         let mut net = FluidNet::with_solver(self.fabric.topo, cfg.solver);
         let mut ctx: Vec<Option<FlowCtx>> = Vec::new();
         let mut seq = 0u64;
@@ -470,6 +488,148 @@ pub fn run_campaign(
     Ok(report)
 }
 
+/// Outcome of one [`CampaignStepper::step`]: what the fail → propagate →
+/// recover → propagate round-trip did.
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// The cable the step killed and restored.
+    pub victim: LinkId,
+    /// Destination trees repaired across the fail and recover patches.
+    pub trees_patched: usize,
+    /// Whether the failure was absorbed by the incremental patch path.
+    pub fail_incremental: bool,
+    /// Whether the recovery was absorbed by the incremental patch path.
+    pub recover_incremental: bool,
+    /// Path-store epoch after the step.
+    pub epoch: u64,
+}
+
+/// A live campaign system exposing one fault-churn event at a time — the
+/// single-step hook behind `hxperf`'s `campaign_step` kernel and any
+/// driver that wants to interleave churn with its own logic.
+///
+/// Construction (via [`with_stepper`]) sweeps the topology, builds a
+/// fabric sharing the manager's path store, and launches the configured
+/// closed-loop flows. Each [`step`](CampaignStepper::step) then performs
+/// exactly one full churn round-trip on the live system: kill a random
+/// active non-terminal cable ([`SubnetManager::fail_link`]), propagate the
+/// patched epoch into the fabric and re-path every in-flight flow, restore
+/// the same cable ([`SubnetManager::recover_link`]), and propagate again.
+/// The fabric ends every step healthy, so steps can repeat indefinitely;
+/// victims are drawn from the same seeded fault stream the campaign
+/// scheduler uses.
+pub struct CampaignStepper<'a> {
+    sm: SubnetManager,
+    fabric: &'a Fabric<'a>,
+    cfg: CampaignConfig,
+    net: FluidNet,
+    ctx: Vec<Option<FlowCtx>>,
+    fault_rng: ChaCha8Rng,
+}
+
+impl CampaignStepper<'_> {
+    /// Applies one fail → propagate → recover → propagate round-trip.
+    /// Victims whose removal would disconnect the fabric are redrawn
+    /// (`fail_link` rolls back on error), so a step always completes.
+    pub fn step(&mut self) -> StepReport {
+        loop {
+            let candidates: Vec<LinkId> = self
+                .sm
+                .topo()
+                .links()
+                .filter(|&(id, l)| l.class != LinkClass::Terminal && self.sm.topo().is_active(id))
+                .map(|(id, _)| id)
+                .collect();
+            let victim = candidates[self.fault_rng.gen_range(0..candidates.len())];
+            let Ok(fail) = self.sm.fail_link(victim) else {
+                continue; // disconnecting kill: rolled back, redraw
+            };
+            propagate_epoch(
+                &self.sm,
+                self.fabric,
+                &mut self.net,
+                &self.ctx,
+                self.cfg.bytes,
+            );
+            let recover = self
+                .sm
+                .recover_link(victim)
+                .expect("recovery re-adds capacity; it cannot disconnect");
+            propagate_epoch(
+                &self.sm,
+                self.fabric,
+                &mut self.net,
+                &self.ctx,
+                self.cfg.bytes,
+            );
+            return StepReport {
+                victim,
+                trees_patched: fail.patched_trees + recover.patched_trees,
+                fail_incremental: fail.incremental,
+                recover_incremental: recover.incremental,
+                epoch: self.sm.epoch(),
+            };
+        }
+    }
+
+    /// The number of in-flight closed-loop flows riding the fabric.
+    pub fn active_flows(&self) -> usize {
+        self.net.active_flows()
+    }
+}
+
+/// Builds a live campaign system on `topo` and hands a [`CampaignStepper`]
+/// to `f` — the borrow-friendly shape for the fabric's internal lifetimes.
+/// The workload and fault streams are seeded exactly like [`run_campaign`].
+pub fn with_stepper<R>(
+    topo: &Topology,
+    engine: Box<dyn RoutingEngine>,
+    cfg: &CampaignConfig,
+    f: impl FnOnce(&mut CampaignStepper<'_>) -> R,
+) -> Result<R, RouteError> {
+    let mut sm = SubnetManager::new(topo.clone(), engine);
+    sm.verify = false;
+    sm.sweep()?;
+    let fab_topo = sm.topo().clone();
+    let fab_routes = sm.routes().expect("swept").clone();
+    let nodes: Vec<NodeId> = fab_topo.nodes().collect();
+    let n = nodes.len();
+    let fabric = Fabric::with_pathdb(
+        &fab_topo,
+        &fab_routes,
+        Placement::linear(&nodes, n),
+        Pml::Ob1,
+        NetParams::qdr().with_solver(cfg.solver),
+        sm.pathdb().expect("swept").clone(),
+    );
+    let mut net = FluidNet::with_solver(fabric.topo, cfg.solver);
+    let mut ctx: Vec<Option<FlowCtx>> = Vec::new();
+    let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ WORK_STREAM);
+    let mut seq = 0u64;
+    for _ in 0..cfg.flows {
+        launch(
+            &fabric,
+            cfg.bytes,
+            n,
+            &mut net,
+            &mut ctx,
+            &mut work_rng,
+            0.0,
+            &mut seq,
+        );
+    }
+    net.recompute();
+    let mut stepper = CampaignStepper {
+        sm,
+        fabric: &fabric,
+        cfg: cfg.clone(),
+        net,
+        ctx,
+        fault_rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ FAULT_STREAM),
+    };
+    Ok(f(&mut stepper))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +670,27 @@ mod tests {
             r.faulted_throughput <= r.healthy_throughput * 1.001,
             "churn increased throughput? {r:?}"
         );
+    }
+
+    #[test]
+    fn stepper_steps_heal_and_bump_epochs() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let cfg = quick_cfg(SolverKind::Incremental);
+        let reports = with_stepper(&topo, Box::new(Sssp::default()), &cfg, |s| {
+            assert_eq!(s.active_flows(), cfg.flows);
+            [s.step(), s.step(), s.step()]
+        })
+        .unwrap();
+        let mut last_epoch = 0;
+        for r in reports {
+            // fail + recover each bump the epoch at least once.
+            assert!(r.epoch >= last_epoch + 2, "{r:?}");
+            last_epoch = r.epoch;
+        }
+        // Same seed, fresh stepper: the victim sequence replays.
+        let again = with_stepper(&topo, Box::new(Sssp::default()), &cfg, |s| s.step()).unwrap();
+        let first = with_stepper(&topo, Box::new(Sssp::default()), &cfg, |s| s.step()).unwrap();
+        assert_eq!(again.victim, first.victim);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod experiment;
 pub mod report;
 pub mod system;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use campaign::{
+    run_campaign, with_stepper, CampaignConfig, CampaignReport, CampaignStepper, StepReport,
+};
 pub use capacity::run_capacity_combo;
 pub use combos::Combo;
 pub use experiment::{Runner, Samples};

@@ -14,8 +14,11 @@
 //! or [`install`]; drain with [`finalize`] which writes
 //! `results/obs/<name>.metrics.jsonl` and `results/obs/<name>.trace.json`.
 
+#![deny(missing_docs)]
+
 pub mod json;
 pub mod metrics;
+pub mod stats;
 pub mod trace;
 
 use parking_lot::RwLock;
@@ -25,6 +28,7 @@ use std::sync::Arc;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use stats::Summary;
 pub use trace::{TraceEvent, Tracer};
 
 /// Trace process-id (track group) conventions. DES simulators use the
@@ -83,7 +87,9 @@ impl Recorder for Noop {}
 /// Live sink: a metrics [`Registry`] plus a Chrome-trace [`Tracer`].
 #[derive(Default)]
 pub struct ObsRecorder {
+    /// The metrics half: named counters, gauges and histograms.
     pub registry: Registry,
+    /// The tracing half: Chrome trace-event spans and instants.
     pub tracer: Tracer,
 }
 

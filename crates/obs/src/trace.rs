@@ -14,14 +14,21 @@ use std::time::Instant;
 /// One Chrome trace event. `ts`/`dur` are microseconds.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
+    /// Event name shown on the track.
     pub name: String,
+    /// Category tag (filterable in the trace viewer).
     pub cat: &'static str,
     /// Phase: "X" complete, "i" instant, "M" metadata.
     pub ph: &'static str,
+    /// Start timestamp in microseconds.
     pub ts: f64,
+    /// Span duration in microseconds (`None` for instants/metadata).
     pub dur: Option<f64>,
+    /// Process id — the track group (plane for DES traces).
     pub pid: u32,
+    /// Thread id — the track (MPI rank for DES traces).
     pub tid: u32,
+    /// Extra key/value payload rendered by the viewer.
     pub args: Vec<(String, Json)>,
 }
 

@@ -41,6 +41,8 @@
 //! assert!((bisection - 0.571).abs() < 0.001);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod dragonfly;
 pub mod fattree;
