@@ -1,0 +1,242 @@
+//! obs_validate — CI checker for observability artefacts.
+//!
+//! Not a harness (it reproduces nothing from the paper, so it is not in
+//! [`hxbench::HARNESSES`]): it loads the trace + flight dump a
+//! `T2HX_OBS=1` harness run left behind and verifies the causal span
+//! machinery end to end:
+//!
+//! * every complete (`"X"`) event carries a unique nonzero `args.span`,
+//! * every `args.parent` resolves to an emitted span whose interval
+//!   time-contains the child (begin/end nesting is well-formed),
+//! * the campaign emitted at least one complete causal chain
+//!   `step → fail_link → pathdb_patch` plus `repath`/`resolve` siblings,
+//!   and a `step → recover_link` recovery chain,
+//! * the flight dump parses, its ring retained events, and it holds the
+//!   tail of the same story (a `step` span-end record).
+//!
+//! Usage: `obs_validate [obs_dir] [harness_name]` — both default to
+//! [`hxobs::out_dir`] and `fault_campaign`. Exits nonzero with a reason
+//! on the first violated invariant.
+
+use hxobs::Json;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Nesting slack in microseconds: parent and child timestamps come from
+/// the same monotonic clock, but `Instant`-to-f64 rounding can land a
+/// child's end a hair past its parent's.
+const SLACK_US: f64 = 0.5;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_validate: FAIL: {msg}");
+    exit(1);
+}
+
+/// One emitted span, flattened from its Chrome trace event.
+struct SpanEv {
+    name: String,
+    ts: f64,
+    dur: f64,
+    parent: u64,
+    kind: Option<String>,
+}
+
+fn load(path: &PathBuf) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("{}: bad JSON: {e}", path.display())))
+}
+
+fn validate_trace(path: &PathBuf) -> HashMap<u64, SpanEv> {
+    let doc = load(path);
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{}: no traceEvents array", path.display())));
+    let mut spans: HashMap<u64, SpanEv> = HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("X event without a name"))
+            .to_string();
+        let args = ev.get("args");
+        let span_id = args
+            .and_then(|a| a.get("span"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64;
+        if span_id == 0 {
+            // Legacy flat span recorded straight through the tracer (no
+            // Span handle) — nothing causal to validate.
+            continue;
+        }
+        let sp = SpanEv {
+            name,
+            ts: ev.get("ts").and_then(Json::as_num).unwrap_or(f64::NAN),
+            dur: ev.get("dur").and_then(Json::as_num).unwrap_or(f64::NAN),
+            parent: args
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0) as u64,
+            kind: args
+                .and_then(|a| a.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        };
+        if !(sp.ts.is_finite() && sp.dur.is_finite() && sp.dur >= 0.0) {
+            fail(&format!(
+                "span {:?}: bad ts/dur {}/{}",
+                sp.name, sp.ts, sp.dur
+            ));
+        }
+        if spans.insert(span_id, sp).is_some() {
+            fail(&format!("duplicate span id {span_id}"));
+        }
+    }
+    if spans.is_empty() {
+        fail(&format!("{}: no spans at all", path.display()));
+    }
+
+    // Nesting: every parent link resolves, and the parent's interval
+    // contains the child's (modulo clock-rounding slack).
+    for (id, sp) in &spans {
+        if sp.parent == 0 {
+            continue;
+        }
+        let Some(p) = spans.get(&sp.parent) else {
+            fail(&format!(
+                "span {id} ({:?}) has dangling parent {}",
+                sp.name, sp.parent
+            ));
+        };
+        if sp.ts + SLACK_US < p.ts || sp.ts + sp.dur > p.ts + p.dur + SLACK_US {
+            fail(&format!(
+                "span {id} ({:?}) [{:.3}, {:.3}] escapes parent {:?} [{:.3}, {:.3}]",
+                sp.name,
+                sp.ts,
+                sp.ts + sp.dur,
+                p.name,
+                p.ts,
+                p.ts + p.dur
+            ));
+        }
+    }
+
+    // The causal chains the campaign must have told as one tree each.
+    let children_of = |pid: u64, name: &str| -> Vec<u64> {
+        spans
+            .iter()
+            .filter(|(_, s)| s.parent == pid && s.name == name)
+            .map(|(&id, _)| id)
+            .collect()
+    };
+    let mut fail_chain = false;
+    let mut recover_chain = false;
+    for (&id, sp) in &spans {
+        if sp.name != "step" {
+            continue;
+        }
+        match sp.kind.as_deref() {
+            Some("fail") => {
+                let complete = children_of(id, "fail_link")
+                    .iter()
+                    .any(|&f| !children_of(f, "pathdb_patch").is_empty())
+                    && !children_of(id, "repath").is_empty()
+                    && !children_of(id, "resolve").is_empty();
+                fail_chain |= complete;
+            }
+            Some("recover") => {
+                recover_chain |= !children_of(id, "recover_link").is_empty();
+            }
+            _ => {
+                // CampaignStepper steps carry both halves under one span.
+                let complete = children_of(id, "fail_link")
+                    .iter()
+                    .any(|&f| !children_of(f, "pathdb_patch").is_empty())
+                    && !children_of(id, "repath").is_empty()
+                    && !children_of(id, "resolve").is_empty();
+                fail_chain |= complete;
+                recover_chain |= !children_of(id, "recover_link").is_empty();
+            }
+        }
+    }
+    if !fail_chain {
+        fail("no complete step→fail_link→pathdb_patch chain (with repath/resolve) in trace");
+    }
+    if !recover_chain {
+        fail("no step→recover_link chain in trace");
+    }
+    spans
+}
+
+fn validate_flight(path: &PathBuf) {
+    let doc = load(path);
+    let recorded = doc
+        .get("recorded")
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| fail(&format!("{}: no recorded count", path.display())));
+    if recorded < 1.0 {
+        fail("flight ring recorded no events");
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{}: no events array", path.display())));
+    if events.is_empty() {
+        fail("flight dump events array is empty");
+    }
+    const KINDS: &[&str] = &[
+        "span_begin",
+        "span_end",
+        "counter",
+        "gauge",
+        "sample",
+        "instant",
+    ];
+    let mut step_end = false;
+    for ev in events {
+        let kind = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("flight event without kind"));
+        if !KINDS.contains(&kind) {
+            fail(&format!("flight event with unknown kind {kind:?}"));
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("flight event without name"));
+        if ev.get("ts_us").and_then(Json::as_num).is_none() {
+            fail(&format!("flight event {name:?} without ts_us"));
+        }
+        step_end |= kind == "span_end" && name == "step";
+    }
+    if !step_end {
+        fail("flight ring tail holds no span_end record for a campaign step");
+    }
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(hxobs::out_dir);
+    let harness = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "fault_campaign".into());
+
+    let trace = dir.join(format!("{harness}.trace.json"));
+    let flight = dir.join("flightdump.json");
+    let spans = validate_trace(&trace);
+    validate_flight(&flight);
+    println!(
+        "obs_validate: OK — {} spans nested cleanly in {}, flight dump {} valid",
+        spans.len(),
+        trace.display(),
+        flight.display()
+    );
+}

@@ -109,8 +109,11 @@ pub fn quick() -> bool {
 
 /// Observability scope for a harness binary: when `T2HX_OBS=1`, installs
 /// the global [`hxobs`] sink on creation and exports
-/// `results/obs/<name>.metrics.jsonl` + `results/obs/<name>.trace.json`
-/// on drop. When observability is off this is a no-op.
+/// `<obs_dir>/<name>.metrics.jsonl` + `<obs_dir>/<name>.trace.json` on
+/// drop, where `<obs_dir>` honours `T2HX_OBS_DIR` /
+/// `T2HX_RESULTS_DIR` / `T2HX_QUICK` (see [`hxobs::out_dir`]). The flight
+/// ring, when armed, is dumped to `<obs_dir>/flightdump.json` alongside
+/// them. When observability is off this is a no-op.
 ///
 /// First line of every harness `main`:
 ///
@@ -120,9 +123,18 @@ pub fn quick() -> bool {
 /// ```
 pub struct ObsScope(String);
 
-/// Creates an [`ObsScope`] named after the harness.
+/// Creates an [`ObsScope`] named after the harness. Each scope is
+/// hermetic: when a previous scope in the same process left a sink
+/// installed (a panicking harness skips its finalize), the registry,
+/// tracer, sketches and flight ring are all swapped fresh via
+/// [`hxobs::reset`], so per-harness `metrics.jsonl` exports never bleed
+/// counters across scopes.
 pub fn obs_scope(name: &str) -> ObsScope {
-    hxobs::init_from_env();
+    if hxobs::enabled() {
+        hxobs::reset();
+    } else {
+        hxobs::init_from_env();
+    }
     ObsScope(name.to_string())
 }
 

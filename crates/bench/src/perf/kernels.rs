@@ -71,6 +71,11 @@ pub const ALL: &[Kernel] = &[
         about: "one live fail→propagate→recover campaign round-trip",
         collect: campaign_step,
     },
+    Kernel {
+        name: "obs_disabled",
+        about: "disabled-path overhead of span/counter/sketch call sites",
+        collect: obs_disabled,
+    },
 ];
 
 /// The measured plane: the paper's degraded 12x8 T=7 HyperX in full mode,
@@ -278,4 +283,40 @@ fn campaign_step(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64
     })
     .unwrap();
     (format!("{scale}/f{}", cfg.flows), ns)
+}
+
+/// Instrumentation call sites per timed iteration of `obs_disabled`.
+const OBS_BATCH: usize = 1024;
+
+/// The cost of the observability layer when it is *off*: every hot path in
+/// the repo now carries span/counter/sketch call sites, so this kernel
+/// pins their disabled-path overhead (one relaxed atomic load each). The
+/// global sink and flight ring are force-uninstalled for the measurement
+/// and restored afterwards, so the number is the true `T2HX_OBS`-unset
+/// cost even when hxperf itself runs under observability.
+fn obs_disabled(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let _ = quick; // same batch at both scales: the cost is plane-free
+    let saved_sink = hxobs::uninstall();
+    let saved_ring = hxobs::flight::uninstall();
+    let mut epoch = 0u64;
+    let ns = time_loop(warmup, samples, || {
+        for i in 0..OBS_BATCH {
+            let root = hxobs::Span::root(hxobs::track::RUNNER, 0, "perf_probe", "perf");
+            let child = root.child("perf_probe_child", "perf");
+            child.end();
+            root.end();
+            hxobs::count("perf.obs_disabled.calls", 1);
+            hxobs::observe("perf.obs_disabled.sample", i as f64);
+            hxobs::sketch_record("perf.obs_disabled.us", epoch, i as f64);
+        }
+        epoch = epoch.wrapping_add(1);
+        std::hint::black_box(epoch);
+    });
+    if let Some(s) = saved_sink {
+        hxobs::install(s);
+    }
+    if let Some(r) = saved_ring {
+        hxobs::flight::install(r);
+    }
+    (format!("callsites-x{OBS_BATCH}"), ns)
 }

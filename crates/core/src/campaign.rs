@@ -26,6 +26,7 @@
 //! fingerprint.
 
 use hxmpi::{Fabric, Placement, Pml};
+use hxobs::{Span, SpanCtx};
 use hxroute::engines::RoutingEngine;
 use hxroute::{RouteError, SubnetManager};
 use hxsim::{FluidNet, NetParams, PathResolver, SolverKind};
@@ -173,26 +174,40 @@ const FAULT_STREAM: u64 = 0x5851_f42d_4c95_7f2d;
 
 /// Live epoch propagation shared by the campaign loop and the
 /// [`CampaignStepper`]: installs the manager's freshly-patched path store
-/// into the fabric and re-paths every in-flight flow through it.
+/// into the fabric and re-paths every in-flight flow through it. With
+/// observability on, the work emits `repath` and `resolve` spans under
+/// `parent` (the campaign `step`), completing the causal chain
+/// `step → fail_link → pathdb_patch → repath → resolve`.
 fn propagate_epoch(
     sm: &SubnetManager,
     fabric: &Fabric<'_>,
     net: &mut FluidNet,
     ctx: &[Option<FlowCtx>],
     bytes: u64,
+    parent: SpanCtx,
 ) {
     let db = sm.pathdb().expect("campaign manager keeps a store");
     fabric.install_pathdb(db.clone());
+    net.set_obs_epoch(db.epoch());
     if let Some(o) = hxobs::sink() {
         use hxobs::Recorder;
         o.gauge_set("pathdb.epoch", db.epoch() as f64);
     }
+    let mut repath_sp = Span::under(parent, hxobs::track::RUNNER, 0, "repath", "campaign");
+    repath_sp.set_epoch(db.epoch());
+    let mut repathed = 0u64;
     for (id, c) in ctx.iter().enumerate() {
         let Some(c) = c else { continue };
         let rp = fabric.resolve(c.src, c.dst, bytes, c.seq);
         net.repath(id, &rp.hops);
+        repathed += 1;
     }
+    repath_sp.arg("flows", hxobs::Json::from(repathed));
+    repath_sp.end();
+    let mut resolve_sp = Span::under(parent, hxobs::track::RUNNER, 0, "resolve", "campaign");
+    resolve_sp.set_epoch(db.epoch());
     net.recompute();
+    resolve_sp.end();
 }
 
 /// Exponential inter-arrival sample (inverse CDF; `1 - u` dodges `ln(0)`).
@@ -267,21 +282,29 @@ impl CampaignRun<'_> {
         }
         let victim = candidates[fault_rng.gen_range(0..candidates.len())];
         let t0 = std::time::Instant::now();
-        match self.sm.fail_link(victim) {
+        let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+        step_sp.arg("kind", hxobs::Json::from("fail"));
+        step_sp.arg("link", hxobs::Json::from(victim.0 as u64));
+        let step = step_sp.ctx();
+        match self.sm.fail_link_spanned(victim, step) {
             Ok(r) => {
                 self.report.failures += 1;
                 self.report.trees_patched += r.patched_trees as u64;
                 if r.incremental {
                     self.report.incremental_events += 1;
                 }
-                self.propagate(net, ctx);
+                self.propagate(net, ctx, step);
                 self.report.reroute_ns += t0.elapsed().as_nanos();
+                step_sp.set_epoch(r.epoch);
+                step_sp.end();
                 Some(victim)
             }
             Err(_) => {
                 // Disconnecting kill: rolled back inside fail_link.
                 self.report.skipped += 1;
                 self.report.reroute_ns += t0.elapsed().as_nanos();
+                step_sp.arg("rolled_back", hxobs::Json::from(true));
+                step_sp.end();
                 None
             }
         }
@@ -290,23 +313,29 @@ impl CampaignRun<'_> {
     /// Recovers a downed cable and propagates the new epoch.
     fn apply_recovery(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>], l: LinkId) {
         let t0 = std::time::Instant::now();
+        let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+        step_sp.arg("kind", hxobs::Json::from("recover"));
+        step_sp.arg("link", hxobs::Json::from(l.0 as u64));
+        let step = step_sp.ctx();
         let r = self
             .sm
-            .recover_link(l)
+            .recover_link_spanned(l, step)
             .expect("recovery re-adds capacity; it cannot disconnect");
         self.report.recoveries += 1;
         self.report.trees_patched += r.patched_trees as u64;
         if r.incremental {
             self.report.incremental_events += 1;
         }
-        self.propagate(net, ctx);
+        self.propagate(net, ctx, step);
         self.report.reroute_ns += t0.elapsed().as_nanos();
+        step_sp.set_epoch(r.epoch);
+        step_sp.end();
     }
 
     /// Live epoch propagation: installs the freshly-patched path store into
     /// the fabric and re-paths every in-flight flow through it.
-    fn propagate(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>]) {
-        propagate_epoch(self.sm, self.fabric, net, ctx, self.cfg.bytes);
+    fn propagate(&mut self, net: &mut FluidNet, ctx: &[Option<FlowCtx>], parent: SpanCtx) {
+        propagate_epoch(self.sm, self.fabric, net, ctx, self.cfg.bytes, parent);
     }
 
     /// Runs the closed-loop workload; `churn` switches the fault process on.
@@ -357,11 +386,14 @@ impl CampaignRun<'_> {
             net.advance_to(t);
             if t_complete <= t_fail && t_complete <= t_repair {
                 net.drained_into(&mut drained);
+                let epoch = self.sm.epoch();
                 for &id in &drained {
                     let c = ctx[id].take().expect("drained flow has context");
                     bytes_done += cfg.bytes;
                     completions += 1;
                     latency_sum += t - c.started;
+                    // Per-epoch tail of simulated flow completion times.
+                    hxobs::sketch_record("flow.completion_us", epoch, (t - c.started) * 1e6);
                     net.remove(id);
                 }
                 // Closed loop: replacements keep the offered load constant.
@@ -541,7 +573,12 @@ impl CampaignStepper<'_> {
                 .map(|(id, _)| id)
                 .collect();
             let victim = candidates[self.fault_rng.gen_range(0..candidates.len())];
-            let Ok(fail) = self.sm.fail_link(victim) else {
+            let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+            step_sp.arg("link", hxobs::Json::from(victim.0 as u64));
+            let step = step_sp.ctx();
+            let Ok(fail) = self.sm.fail_link_spanned(victim, step) else {
+                step_sp.arg("rolled_back", hxobs::Json::from(true));
+                step_sp.end();
                 continue; // disconnecting kill: rolled back, redraw
             };
             propagate_epoch(
@@ -550,10 +587,11 @@ impl CampaignStepper<'_> {
                 &mut self.net,
                 &self.ctx,
                 self.cfg.bytes,
+                step,
             );
             let recover = self
                 .sm
-                .recover_link(victim)
+                .recover_link_spanned(victim, step)
                 .expect("recovery re-adds capacity; it cannot disconnect");
             propagate_epoch(
                 &self.sm,
@@ -561,7 +599,10 @@ impl CampaignStepper<'_> {
                 &mut self.net,
                 &self.ctx,
                 self.cfg.bytes,
+                step,
             );
+            step_sp.set_epoch(self.sm.epoch());
+            step_sp.end();
             return StepReport {
                 victim,
                 trees_patched: fail.patched_trees + recover.patched_trees,

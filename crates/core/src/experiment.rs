@@ -77,8 +77,14 @@ impl Runner {
     /// Runs a workload at `n` ranks under a combo.
     pub fn run(&self, sys: &T2hx, combo: Combo, w: &dyn Workload, n: usize) -> Samples {
         let obs = hxobs::sink();
-        let wall0 = std::time::Instant::now();
-        let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
+        if let Some(o) = &obs {
+            o.tracer
+                .name_process(hxobs::track::RUNNER, "experiment runner");
+        }
+        let mut run_sp = hxobs::Span::root(hxobs::track::RUNNER, 0, "experiment_run", "core");
+        run_sp.arg("combo", hxobs::Json::from(combo.label()));
+        run_sp.arg("workload", hxobs::Json::from(w.name()));
+        run_sp.arg("ranks", hxobs::Json::from(n));
         let fabric = sys.fabric(combo, n, self.placement_seed);
         let base = w.kernel_seconds(&fabric, n);
         let t = tag(combo, w.name(), n, 0);
@@ -102,27 +108,13 @@ impl Runner {
             for &kt in &times {
                 o.histogram_record("core.rep_kernel_seconds", kt);
             }
-            o.tracer
-                .name_process(hxobs::track::RUNNER, "experiment runner");
-            o.span(
-                hxobs::track::RUNNER,
-                0,
-                &format!("run:{}:{}:n{}", combo.label(), w.name(), n),
-                "core",
-                start_us,
-                wall0.elapsed().as_secs_f64() * 1e6,
-                vec![
-                    ("combo".to_string(), hxobs::Json::from(combo.label())),
-                    ("workload".to_string(), hxobs::Json::from(w.name())),
-                    ("ranks".to_string(), hxobs::Json::from(n)),
-                    ("completed".to_string(), hxobs::Json::from(values.len())),
-                    (
-                        "dropped".to_string(),
-                        hxobs::Json::from(self.reps as u64 - values.len() as u64),
-                    ),
-                ],
-            );
         }
+        run_sp.arg("completed", hxobs::Json::from(values.len()));
+        run_sp.arg(
+            "dropped",
+            hxobs::Json::from(self.reps as u64 - values.len() as u64),
+        );
+        run_sp.end();
         Samples {
             values,
             times,

@@ -530,6 +530,12 @@ fn estimate_inner(
     prog: &RoundProgram,
     mut accounting: Option<&mut Vec<f64>>,
 ) -> (f64, f64) {
+    let mut est_sp = hxobs::Span::root(hxobs::track::MPI, 0, "collective_rounds", "mpi");
+    est_sp.set_epoch(if est_sp.is_live() {
+        fabric.pathdb().epoch()
+    } else {
+        0
+    });
     let caps = directed_capacities(fabric.topo);
     let p = fabric.params;
     let extra = fabric.pml_overhead();
@@ -613,7 +619,11 @@ fn estimate_inner(
             bytes,
         );
         hxobs::observe("mpi.rounds_per_program", rounds as f64);
+        est_sp.arg("rounds", hxobs::Json::from(rounds));
+        est_sp.arg("bytes", hxobs::Json::from(bytes));
+        est_sp.arg("estimated_s", hxobs::Json::from(total));
     }
+    est_sp.end();
     (total, compute)
 }
 

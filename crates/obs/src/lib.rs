@@ -8,16 +8,31 @@
 //!   instants in Chrome trace-event JSON, loadable in Perfetto, with
 //!   pid/tid mapped to plane/rank for DES traces.
 //!
+//! Three further subsystems ride the same gate:
+//!
+//! * **causal spans** ([`span::Span`]) — explicitly-threaded hierarchical
+//!   span contexts with parent/child links and path-store epoch
+//!   provenance, rendered into the same Perfetto trace;
+//! * a **crash flight recorder** ([`flight`]) — a fixed-capacity lock-free
+//!   ring of the last N span/metric events, dumped to
+//!   `<out_dir>/flightdump.json` from a panic hook or on demand;
+//! * **tail-latency sketches** ([`sketch`]) — mergeable log₂-bucket
+//!   quantile sketches (p50/p95/p99/p999) keyed per `(metric, epoch)`.
+//!
 //! Instrumented code pays for what it uses: the global sink defaults to
 //! off and every call site is gated on [`enabled`], a single relaxed
 //! atomic load. Enable by calling [`init_from_env`] (honours `T2HX_OBS=1`)
 //! or [`install`]; drain with [`finalize`] which writes
-//! `results/obs/<name>.metrics.jsonl` and `results/obs/<name>.trace.json`.
+//! `<out_dir>/<name>.metrics.jsonl` and `<out_dir>/<name>.trace.json`
+//! (see [`out_dir`]).
 
 #![deny(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
+pub mod span;
 pub mod stats;
 pub mod trace;
 
@@ -28,6 +43,8 @@ use std::sync::Arc;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use sketch::{Sketch, SketchRegistry};
+pub use span::{Span, SpanCtx};
 pub use stats::Summary;
 pub use trace::{TraceEvent, Tracer};
 
@@ -77,6 +94,8 @@ pub trait Recorder: Send + Sync {
         _args: Vec<(String, Json)>,
     ) {
     }
+    /// Records one tail-latency sample under `name` for path-store `epoch`.
+    fn sketch_record(&self, _name: &str, _epoch: u64, _value: f64) {}
 }
 
 /// The do-nothing sink; what disabled call sites conceptually talk to.
@@ -84,13 +103,16 @@ pub struct Noop;
 
 impl Recorder for Noop {}
 
-/// Live sink: a metrics [`Registry`] plus a Chrome-trace [`Tracer`].
+/// Live sink: a metrics [`Registry`], a Chrome-trace [`Tracer`] and a
+/// per-epoch tail-latency [`SketchRegistry`].
 #[derive(Default)]
 pub struct ObsRecorder {
     /// The metrics half: named counters, gauges and histograms.
     pub registry: Registry,
     /// The tracing half: Chrome trace-event spans and instants.
     pub tracer: Tracer,
+    /// The tail half: per-`(name, epoch)` quantile sketches.
+    pub sketches: SketchRegistry,
 }
 
 impl ObsRecorder {
@@ -105,12 +127,16 @@ impl ObsRecorder {
     }
 
     /// Writes `<name>.metrics.jsonl` and `<name>.trace.json` under `dir`
-    /// (created if absent). Returns the two paths.
+    /// (created if absent). Sketch lines (`{"type":"sketch",...}`) are
+    /// appended to the metrics JSONL — one object per line either way.
+    /// Returns the two paths.
     pub fn write_files(&self, dir: &Path, name: &str) -> std::io::Result<(PathBuf, PathBuf)> {
         std::fs::create_dir_all(dir)?;
         let metrics_path = dir.join(format!("{name}.metrics.jsonl"));
         let trace_path = dir.join(format!("{name}.trace.json"));
-        std::fs::write(&metrics_path, self.registry.to_jsonl())?;
+        let mut jsonl = self.registry.to_jsonl();
+        jsonl.push_str(&self.sketches.to_jsonl());
+        std::fs::write(&metrics_path, jsonl)?;
         std::fs::write(&trace_path, self.tracer.to_chrome_json())?;
         Ok((metrics_path, trace_path))
     }
@@ -153,6 +179,10 @@ impl Recorder for ObsRecorder {
     ) {
         self.tracer.instant(pid, tid, name, cat, ts_us, args);
     }
+
+    fn sketch_record(&self, name: &str, epoch: u64, value: f64) {
+        self.sketches.record(name, epoch, value);
+    }
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -194,31 +224,76 @@ pub fn env_requested() -> bool {
     std::env::var("T2HX_OBS").map(|v| v != "0").unwrap_or(false)
 }
 
-/// Installs a fresh [`ObsRecorder`] iff `T2HX_OBS=1` (any value but `"0"`).
-/// Returns whether observability is now on. Harness binaries call this at
-/// startup and [`finalize`] before exit.
+/// Installs a fresh [`ObsRecorder`] iff `T2HX_OBS=1` (any value but `"0"`),
+/// and arms the [`flight`] recorder alongside it (opt out with
+/// `T2HX_OBS_FLIGHT=0`). Returns whether observability is now on. Harness
+/// binaries call this at startup and [`finalize`] before exit.
 pub fn init_from_env() -> bool {
     if env_requested() {
         install(Arc::new(ObsRecorder::new()));
+        flight::init_from_env();
         true
     } else {
         false
     }
 }
 
-/// Output directory for observability artefacts: `$T2HX_OBS_DIR` or
-/// `results/obs`.
+/// Swaps in a fresh [`ObsRecorder`] (and a fresh flight ring of the same
+/// capacity, when one was armed), returning the previous recorder so its
+/// contents can still be exported. Use between logical phases sharing one
+/// process — e.g. consecutive harness scopes — so counters, traces,
+/// sketches and the flight ring never bleed across exports. `None` (and
+/// nothing installed) when observability was off.
+pub fn reset() -> Option<Arc<ObsRecorder>> {
+    if !enabled() {
+        return None;
+    }
+    let prev = uninstall();
+    install(Arc::new(ObsRecorder::new()));
+    if let Some(ring) = flight::uninstall() {
+        flight::install(Arc::new(flight::FlightRecorder::new(ring.capacity())));
+    }
+    prev
+}
+
+/// Output directory for observability artefacts, in precedence order:
+/// `$T2HX_OBS_DIR`; else `$T2HX_RESULTS_DIR/obs`; else
+/// `results/quick/obs` under `T2HX_QUICK` and `results/obs` otherwise —
+/// mirroring where `run_all` puts harness outputs, so quick runs never
+/// clobber full-mode obs artefacts.
 pub fn out_dir() -> PathBuf {
-    std::env::var("T2HX_OBS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results/obs"))
+    if let Ok(d) = std::env::var("T2HX_OBS_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d);
+        }
+    }
+    if let Ok(d) = std::env::var("T2HX_RESULTS_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d).join("obs");
+        }
+    }
+    let quick = std::env::var("T2HX_QUICK").is_ok_and(|v| v != "0");
+    if quick {
+        PathBuf::from("results/quick/obs")
+    } else {
+        PathBuf::from("results/obs")
+    }
 }
 
 /// Uninstalls the global sink and writes `<name>.metrics.jsonl` +
-/// `<name>.trace.json` under [`out_dir`]. No-op (returns `None`) when
-/// observability was never enabled.
+/// `<name>.trace.json` under [`out_dir`]. When a flight ring is armed and
+/// holds events, it is dumped to `flightdump.json` alongside them and
+/// disarmed. No-op (returns `None`) when observability was never enabled.
 pub fn finalize(name: &str) -> Option<(PathBuf, PathBuf)> {
     let rec = uninstall()?;
+    if let Some(ring) = flight::uninstall() {
+        if ring.recorded() > 0 {
+            let path = flight::dump_path();
+            if let Err(e) = flight::dump_ring_to(&ring, &path) {
+                eprintln!("hxobs: failed to write flight dump: {e}");
+            }
+        }
+    }
     match rec.write_files(&out_dir(), name) {
         Ok(paths) => Some(paths),
         Err(e) => {
@@ -230,23 +305,45 @@ pub fn finalize(name: &str) -> Option<(PathBuf, PathBuf)> {
 
 // ---- convenience free functions: gated, safe to call unconditionally ----
 
-/// Adds to a named counter if observability is on.
+/// Adds to a named counter if observability is on. Also lands in the
+/// flight ring as a [`flight::Kind::Counter`] event when one is armed.
 #[inline]
 pub fn count(name: &str, delta: u64) {
     if enabled() {
         if let Some(s) = sink() {
             s.counter_add(name, delta);
+            flight_metric(&s, flight::Kind::Counter, name, delta as f64);
         }
     }
 }
 
-/// Sets a named gauge if observability is on.
+/// Sets a named gauge if observability is on. Also lands in the flight
+/// ring as a [`flight::Kind::Gauge`] event when one is armed.
 #[inline]
 pub fn gauge(name: &str, value: f64) {
     if enabled() {
         if let Some(s) = sink() {
             s.gauge_set(name, value);
+            flight_metric(&s, flight::Kind::Gauge, name, value);
         }
+    }
+}
+
+/// Shared flight-ring tail for the metric free functions.
+#[inline]
+fn flight_metric(s: &ObsRecorder, kind: flight::Kind, name: &str, value: f64) {
+    if flight::active() {
+        flight::record(&flight::FlightEvent {
+            kind,
+            pid: 0,
+            tid: 0,
+            ts_us: s.now_us(),
+            span: 0,
+            parent: 0,
+            epoch: 0,
+            value,
+            name: name.to_string(),
+        });
     }
 }
 
@@ -256,6 +353,30 @@ pub fn observe(name: &str, value: f64) {
     if enabled() {
         if let Some(s) = sink() {
             s.histogram_record(name, value);
+        }
+    }
+}
+
+/// Records a tail-latency sample under `name` for path-store `epoch` if
+/// observability is on. Also lands in the flight ring as a
+/// [`flight::Kind::Sample`] event, so a crash dump shows the most recent
+/// latencies alongside the open spans.
+#[inline]
+pub fn sketch_record(name: &str, epoch: u64, value: f64) {
+    if enabled() {
+        if let Some(s) = sink() {
+            s.sketch_record(name, epoch, value);
+            flight::record(&flight::FlightEvent {
+                kind: flight::Kind::Sample,
+                pid: 0,
+                tid: 0,
+                ts_us: s.now_us(),
+                span: 0,
+                parent: 0,
+                epoch,
+                value,
+                name: name.to_string(),
+            });
         }
     }
 }

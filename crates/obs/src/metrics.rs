@@ -51,8 +51,9 @@ impl Gauge {
 
 /// Number of log₂ buckets. Bucket `i` covers `[2^(i-OFFSET-1), 2^(i-OFFSET))`,
 /// so the dynamic range spans ~1e-12 … ~1e16 — enough for seconds, bytes
-/// and hop counts alike.
-const BUCKETS: usize = 96;
+/// and hop counts alike. Shared with [`crate::sketch`] so histogram and
+/// sketch buckets line up.
+pub(crate) const BUCKETS: usize = 96;
 const OFFSET: i32 = 40;
 
 /// Lock-free log-bucketed histogram over non-negative `f64` samples.
@@ -80,7 +81,7 @@ impl Default for Histogram {
     }
 }
 
-fn bucket_of(v: f64) -> usize {
+pub(crate) fn bucket_of(v: f64) -> usize {
     if v <= 0.0 {
         return 0;
     }
@@ -90,7 +91,7 @@ fn bucket_of(v: f64) -> usize {
 }
 
 /// Upper bound of bucket `i` (`2^(i-OFFSET)`).
-fn bucket_bound(i: usize) -> f64 {
+pub(crate) fn bucket_bound(i: usize) -> f64 {
     ((i as i32 - OFFSET) as f64).exp2()
 }
 

@@ -1,0 +1,295 @@
+//! Mergeable log₂-bucket quantile sketches for tail-latency metrics.
+//!
+//! A [`Sketch`] is the quantile-answering sibling of
+//! [`crate::metrics::Histogram`]: the same 96-bucket log₂ layout (bucket
+//! `i` covers `(2^(i-41), 2^(i-40)]`), but single-writer plain counters,
+//! a [`Sketch::quantile`] query and a cheap [`Sketch::merge`]. Because
+//! every positive sample `v` lands in the bucket whose upper bound `b`
+//! satisfies `v <= b < 2v`, a quantile estimate brackets the exact sample
+//! quantile within a factor of two: `exact <= estimate < 2 * exact`. That
+//! bound is pinned by the proptests in `tests/sketch.rs`.
+//!
+//! [`SketchRegistry`] keys sketches by `(name, epoch)` so per-epoch tail
+//! distributions (flow completion, re-solve time, reroute latency) survive
+//! into the metrics export: one `{"type":"sketch",...}` JSONL line per
+//! epoch with p50/p95/p99/p999, plus cross-epoch merges on demand.
+
+use crate::json::Json;
+use crate::metrics::{bucket_bound, bucket_of, BUCKETS};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// The quantiles every sketch export reports, in order.
+pub const REPORTED_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)];
+
+/// A mergeable log₂-bucket quantile sketch over non-negative samples.
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Sketch {
+    fn default() -> Sketch {
+        Sketch {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Sketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Sketch {
+        Sketch::default()
+    }
+
+    /// Records one sample (negative samples clamp into the lowest bucket).
+    pub fn record(&mut self, v: f64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds another sketch into this one: the result is bucket-identical
+    /// to a sketch that recorded both sample streams.
+    pub fn merge(&mut self, other: &Sketch) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper log₂-bucket bound of the sample at rank `ceil(q * count)`
+    /// (clamped to `[1, count]`), i.e. an estimate `e` of the exact
+    /// q-quantile `x` with `x <= e < 2x` for positive samples. `None` when
+    /// the sketch is empty. The estimate is additionally clamped into
+    /// `[min, max]`, which only tightens the bracket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The standard tail report: `[p50, p95, p99, p999]`.
+    pub fn tail(&self) -> Option<[f64; 4]> {
+        let q = |p| self.quantile(p);
+        Some([q(0.50)?, q(0.95)?, q(0.99)?, q(0.999)?])
+    }
+
+    /// Serializes as the `{"type":"sketch"}` JSONL payload body (name and
+    /// epoch are added by the registry).
+    pub fn to_json_fields(&self) -> Vec<(&'static str, Json)> {
+        let mut fields = vec![
+            ("type", Json::str("sketch")),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+        ];
+        if self.count > 0 {
+            fields.push(("min", Json::from(self.min)));
+            fields.push(("max", Json::from(self.max)));
+            for (label, q) in REPORTED_QUANTILES {
+                fields.push((label, Json::from(self.quantile(q).unwrap())));
+            }
+        }
+        fields
+    }
+}
+
+/// Per-`(name, epoch)` sketch store behind a single mutex. Tail-latency
+/// recording sites are epoch-change-rate paths (flow completions, re-solves,
+/// reroutes), not per-packet paths, so one uncontended lock is cheap; the
+/// disabled case never reaches the registry at all.
+#[derive(Default)]
+pub struct SketchRegistry {
+    map: Mutex<BTreeMap<(String, u64), Sketch>>,
+}
+
+impl SketchRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SketchRegistry {
+        SketchRegistry::default()
+    }
+
+    /// Records `value` into the sketch for `name` at `epoch`.
+    pub fn record(&self, name: &str, epoch: u64, value: f64) {
+        self.map
+            .lock()
+            .entry((name.to_string(), epoch))
+            .or_default()
+            .record(value);
+    }
+
+    /// A copy of the sketch for `name` at `epoch`, if any samples landed.
+    pub fn get(&self, name: &str, epoch: u64) -> Option<Sketch> {
+        self.map.lock().get(&(name.to_string(), epoch)).cloned()
+    }
+
+    /// All epochs recorded under `name`, ascending.
+    pub fn epochs(&self, name: &str) -> Vec<u64> {
+        self.map
+            .lock()
+            .keys()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, e)| e)
+            .collect()
+    }
+
+    /// The cross-epoch merge of every sketch recorded under `name`.
+    pub fn merged(&self, name: &str) -> Option<Sketch> {
+        let map = self.map.lock();
+        let mut out: Option<Sketch> = None;
+        for ((n, _), s) in map.iter() {
+            if n == name {
+                out.get_or_insert_with(Sketch::new).merge(s);
+            }
+        }
+        out
+    }
+
+    /// Number of `(name, epoch)` sketches held.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot as JSONL: one `{"type":"sketch","name":...,"epoch":...}`
+    /// object per line, sorted by `(name, epoch)` (byte-stable across
+    /// identical runs).
+    pub fn to_jsonl(&self) -> String {
+        let map = self.map.lock();
+        let mut out = String::new();
+        for ((name, epoch), s) in map.iter() {
+            let mut fields = s.to_json_fields();
+            fields.push(("name", Json::str(name.clone())));
+            fields.push(("epoch", Json::from(*epoch)));
+            out.push_str(&Json::obj(fields).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_exact_on_a_known_stream() {
+        let mut s = Sketch::new();
+        let mut vals: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = s.quantile(q).unwrap();
+            assert!(
+                est >= exact && est <= 2.0 * exact,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = Sketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.tail(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let (mut a, mut b, mut u) = (Sketch::new(), Sketch::new(), Sketch::new());
+        for i in 0..100 {
+            let v = (i as f64) * 3.7 + 0.1;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        assert_eq!(a.sum().to_bits(), u.sum().to_bits());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                a.quantile(q).unwrap().to_bits(),
+                u.quantile(q).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_keys_by_name_and_epoch() {
+        let r = SketchRegistry::new();
+        r.record("flow.completion_us", 1, 10.0);
+        r.record("flow.completion_us", 1, 20.0);
+        r.record("flow.completion_us", 2, 1000.0);
+        r.record("resolve_us", 1, 5.0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get("flow.completion_us", 1).unwrap().count(), 2);
+        assert_eq!(r.epochs("flow.completion_us"), vec![1, 2]);
+        let merged = r.merged("flow.completion_us").unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), Some(1000.0));
+        // Export: one line per (name, epoch), parseable, sorted.
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let j = crate::json::parse(line).unwrap();
+            assert_eq!(j.get("type").unwrap().as_str(), Some("sketch"));
+            assert!(j.get("p999").is_some());
+        }
+    }
+}

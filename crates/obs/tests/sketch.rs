@@ -1,0 +1,81 @@
+//! Property tests pinning the log₂-bucket sketch's quantile guarantee:
+//! for positive samples inside the bucket range, every quantile estimate
+//! `e` of the exact sample quantile `x` satisfies `x <= e <= 2x`, and
+//! merging sketches is indistinguishable from recording the union stream.
+
+use hxobs::Sketch;
+use proptest::prelude::*;
+
+/// Exact q-quantile under the sketch's rank convention: the sample at
+/// rank `ceil(q * n)`, clamped to `[1, n]`, in ascending order.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ×2 bracket holds for arbitrary positive sample streams and
+    /// arbitrary quantiles, across twelve decades of magnitude.
+    #[test]
+    fn quantile_brackets_exact_within_factor_two(
+        vals in proptest::collection::vec(1e-9f64..1e12, 1..400),
+        q in 0.001f64..1.0,
+    ) {
+        let mut s = Sketch::new();
+        for &v in &vals {
+            s.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, q);
+        let est = s.quantile(q).unwrap();
+        prop_assert!(
+            est >= exact && est <= 2.0 * exact,
+            "q={q}: estimate {est} outside [{exact}, {}]",
+            2.0 * exact
+        );
+    }
+
+    /// The reported tail (p50/p95/p99/p999) is monotone non-decreasing
+    /// and pinned inside [min, max].
+    #[test]
+    fn tail_is_monotone_and_clamped(
+        vals in proptest::collection::vec(1e-6f64..1e9, 1..200),
+    ) {
+        let mut s = Sketch::new();
+        for &v in &vals {
+            s.record(v);
+        }
+        let [p50, p95, p99, p999] = s.tail().unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        prop_assert!(p50 >= s.min().unwrap());
+        prop_assert!(p999 <= s.max().unwrap());
+    }
+
+    /// Merging two sketches answers every quantile exactly as one sketch
+    /// that saw both streams — the property that makes per-epoch sketches
+    /// safe to roll up.
+    #[test]
+    fn merge_is_union_stream(
+        a in proptest::collection::vec(1e-3f64..1e9, 0..150),
+        b in proptest::collection::vec(1e-3f64..1e9, 1..150),
+        q in 0.01f64..1.0,
+    ) {
+        let (mut sa, mut sb, mut su) = (Sketch::new(), Sketch::new(), Sketch::new());
+        for &v in &a {
+            sa.record(v);
+            su.record(v);
+        }
+        for &v in &b {
+            sb.record(v);
+            su.record(v);
+        }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), su.count());
+        prop_assert_eq!(sa.quantile(q).unwrap().to_bits(), su.quantile(q).unwrap().to_bits());
+        prop_assert_eq!(sa.min().unwrap().to_bits(), su.min().unwrap().to_bits());
+        prop_assert_eq!(sa.max().unwrap().to_bits(), su.max().unwrap().to_bits());
+    }
+}

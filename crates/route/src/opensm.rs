@@ -15,6 +15,7 @@ use crate::lft::{RouteError, Routes};
 use crate::lid::Lid;
 use crate::pathdb::PathDb;
 use crate::verify::{verify_deadlock_free, PathStats};
+use hxobs::{Span, SpanCtx};
 use hxtopo::{LinkClass, LinkId, SwitchId, Topology};
 use std::sync::Arc;
 
@@ -178,8 +179,24 @@ impl SubnetManager {
     /// engine re-sweeps from scratch. Returns an error (and re-activates
     /// the cable) if the fabric would become unroutable.
     pub fn fail_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        self.fail_link_spanned(l, SpanCtx::none())
+    }
+
+    /// [`SubnetManager::fail_link`] with explicit causal attribution: the
+    /// emitted `fail_link` span (and its `pathdb_patch` child) parent under
+    /// `parent` — e.g. a campaign `step` — so the trace shows one tree per
+    /// injected failure.
+    pub fn fail_link_spanned(
+        &mut self,
+        l: LinkId,
+        parent: SpanCtx,
+    ) -> Result<SweepReport, RouteError> {
+        let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "fail_link", "route");
+        sp.arg("link", hxobs::Json::from(l.0 as u64));
+        let ctx = sp.ctx();
         if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;
+            o.tracer.name_process(hxobs::track::OPENSM, "opensm");
             o.counter_add("route.link_failures", 1);
             o.instant(
                 hxobs::track::OPENSM,
@@ -198,14 +215,20 @@ impl SubnetManager {
             && self.topo.link(l).class != LinkClass::Terminal;
         self.topo.deactivate(l);
         if try_incremental {
-            if let Ok(r) = self.reroute_incremental(l) {
+            if let Ok(r) = self.reroute_incremental(l, ctx) {
+                sp.set_epoch(r.epoch);
+                sp.end();
                 return Ok(r);
             }
             // Patch failed (disconnection or VL breakage): fall through to
             // the full resweep with state untouched.
         }
         match self.sweep() {
-            Ok(r) => Ok(r),
+            Ok(r) => {
+                sp.set_epoch(r.epoch);
+                sp.end();
+                Ok(r)
+            }
             Err(e) => {
                 self.topo.activate(l);
                 // Restore a consistent routing state.
@@ -217,23 +240,35 @@ impl SubnetManager {
 
     /// Repairs only the destination trees whose paths traverse the (already
     /// deactivated) cable `l`, patching the PathDb and bumping the epoch.
-    fn reroute_incremental(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+    fn reroute_incremental(
+        &mut self,
+        l: LinkId,
+        parent: SpanCtx,
+    ) -> Result<SweepReport, RouteError> {
         let affected = self
             .pathdb
             .as_ref()
             .expect("incremental needs a PathDb")
             .affected_by(l);
-        self.patch_trees(affected, "reroute")
+        self.patch_trees(affected, "reroute", parent)
     }
 
     /// Re-runs the destination-rooted repair for the given LID trees against
     /// the current topology, patching the PathDb and bumping the epoch.
     /// State is committed only on success. `op` labels the obs span and
     /// counters (`"reroute"` after a failure, `"recover"` after a repair).
-    fn patch_trees(&mut self, affected: Vec<Lid>, op: &str) -> Result<SweepReport, RouteError> {
+    fn patch_trees(
+        &mut self,
+        affected: Vec<Lid>,
+        op: &str,
+        parent: SpanCtx,
+    ) -> Result<SweepReport, RouteError> {
         let obs = hxobs::sink();
         let t0 = std::time::Instant::now();
-        let start_us = obs.as_ref().map(|o| o.now_us()).unwrap_or(0.0);
+        let mut patch_sp = Span::under(parent, hxobs::track::OPENSM, 0, "pathdb_patch", "route");
+        patch_sp.arg("op", hxobs::Json::from(op));
+        patch_sp.arg("engine", hxobs::Json::from(self.engine.name()));
+        patch_sp.arg("trees", hxobs::Json::from(affected.len()));
         let db = self.pathdb.clone().expect("incremental needs a PathDb");
         let routes = self.routes.as_ref().expect("incremental needs routes");
         let (new_routes, new_db) = if affected.is_empty() {
@@ -276,24 +311,12 @@ impl SubnetManager {
         self.epoch += 1;
         debug_assert_eq!(new_db.epoch(), self.epoch);
         let secs = t0.elapsed().as_secs_f64();
+        patch_sp.set_epoch(self.epoch);
+        patch_sp.end();
+        hxobs::sketch_record("reroute.latency_us", self.epoch, secs * 1e6);
         if let Some(o) = &obs {
             use hxobs::Recorder;
             o.tracer.name_process(hxobs::track::OPENSM, "opensm");
-            o.span(
-                hxobs::track::OPENSM,
-                0,
-                &format!("{op}:{}", self.engine.name()),
-                "route",
-                start_us,
-                o.now_us() - start_us,
-                vec![
-                    ("epoch".to_string(), hxobs::Json::from(self.epoch)),
-                    (
-                        "patched_trees".to_string(),
-                        hxobs::Json::from(affected.len()),
-                    ),
-                ],
-            );
             o.counter_add(
                 if op == "recover" {
                     "route.incremental_recoveries"
@@ -331,8 +354,23 @@ impl SubnetManager {
     /// missing, the cable is a terminal (node membership change), or the
     /// patch fails.
     pub fn recover_link(&mut self, l: LinkId) -> Result<SweepReport, RouteError> {
+        self.recover_link_spanned(l, SpanCtx::none())
+    }
+
+    /// [`SubnetManager::recover_link`] with explicit causal attribution —
+    /// the `recover_link` span and its `pathdb_patch` child parent under
+    /// `parent`, mirroring [`SubnetManager::fail_link_spanned`].
+    pub fn recover_link_spanned(
+        &mut self,
+        l: LinkId,
+        parent: SpanCtx,
+    ) -> Result<SweepReport, RouteError> {
+        let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "recover_link", "route");
+        sp.arg("link", hxobs::Json::from(l.0 as u64));
+        let ctx = sp.ctx();
         if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;
+            o.tracer.name_process(hxobs::track::OPENSM, "opensm");
             o.counter_add("route.link_recoveries", 1);
             o.instant(
                 hxobs::track::OPENSM,
@@ -351,14 +389,20 @@ impl SubnetManager {
         self.topo.activate(l);
         if try_incremental {
             let candidates = self.recover_candidates(l);
-            if let Ok(r) = self.patch_trees(candidates, "recover") {
+            if let Ok(r) = self.patch_trees(candidates, "recover", ctx) {
+                sp.set_epoch(r.epoch);
+                sp.end();
                 return Ok(r);
             }
             // Patch failed (VL layering breakage under verify): fall through
             // to the full resweep with state untouched.
         }
         match self.sweep() {
-            Ok(r) => Ok(r),
+            Ok(r) => {
+                sp.set_epoch(r.epoch);
+                sp.end();
+                Ok(r)
+            }
             Err(e) => {
                 // Keep the previous consistent state: a recovery must never
                 // leave the manager worse than before it.

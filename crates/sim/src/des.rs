@@ -200,6 +200,10 @@ impl<'a> Simulator<'a> {
                 o.tracer.name_thread(pid, r as u32, format!("rank {r}"));
             }
         }
+        // Simulated-clock root span covering the whole program execution;
+        // closed at the makespan below.
+        let mut run_sp = hxobs::Span::root_at(pid, 0, "des_run", "des", 0.0);
+        run_sp.arg("ranks", hxobs::Json::from(n));
 
         for r in 0..n {
             push(&mut heap, 0.0, Event::RankReady(r), &mut seq);
@@ -419,6 +423,8 @@ impl<'a> Simulator<'a> {
 
         debug_assert_eq!(done, n, "deadlocked program: {done}/{n} ranks finished");
         let makespan = finish.iter().copied().fold(0.0, f64::max);
+        run_sp.arg("messages", hxobs::Json::from(msgs.len()));
+        run_sp.end_at(makespan * US);
         if let Some(o) = &obs {
             o.counter_add("des.runs", 1);
             o.counter_add("des.messages", msgs.len() as u64);

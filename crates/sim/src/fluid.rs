@@ -58,6 +58,9 @@ pub struct FluidNet {
     /// Set by add/remove; cleared by [`FluidNet::recompute`]. Querying or
     /// advancing a dirty net would use stale rates, so debug builds refuse.
     dirty: bool,
+    /// Path-store epoch stamped onto re-solve tail-latency sketches (see
+    /// [`FluidNet::set_obs_epoch`]); purely observational.
+    obs_epoch: u64,
 }
 
 impl Clone for FluidNet {
@@ -74,6 +77,7 @@ impl Clone for FluidNet {
             rates: self.rates.clone(),
             heap: self.heap.clone(),
             dirty: self.dirty,
+            obs_epoch: self.obs_epoch,
         }
     }
 }
@@ -104,7 +108,16 @@ impl FluidNet {
             rates: RateTable::default(),
             heap: BinaryHeap::new(),
             dirty: false,
+            obs_epoch: 0,
         }
+    }
+
+    /// Stamps the path-store epoch that subsequent re-solves belong to, so
+    /// per-epoch `solver.resolve_us` tail sketches attribute solve latency
+    /// to the routing state that caused it. Observational only — rates and
+    /// completion order are unaffected.
+    pub fn set_obs_epoch(&mut self, epoch: u64) {
+        self.obs_epoch = epoch;
     }
 
     /// The active congestion engine's label.
@@ -243,7 +256,9 @@ impl FluidNet {
         } = self;
         solver.resolve(caps, rates);
         if let (true, Some(t0)) = (obs, t0) {
-            hxobs::observe("solver.resolve_ns", t0.elapsed().as_nanos() as f64);
+            let ns = t0.elapsed().as_nanos() as f64;
+            hxobs::observe("solver.resolve_ns", ns);
+            hxobs::sketch_record("solver.resolve_us", self.obs_epoch, ns / 1e3);
         }
         for &id in rates.changed() {
             // The solver only re-solves live flows, so the slot exists.
