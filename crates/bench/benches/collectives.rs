@@ -25,6 +25,7 @@ fn fabric<'a>(topo: &'a Topology, routes: &'a Routes, n: usize) -> Fabric<'a> {
         Pml::Ob1,
         NetParams::qdr(),
     )
+    .expect("routable fabric")
 }
 
 fn round_model(c: &mut Criterion) {

@@ -126,7 +126,8 @@ fn des_churn(c: &mut Criterion) {
             Placement::linear(&nodes, n),
             Pml::Ob1,
             NetParams::qdr().with_solver(kind),
-        );
+        )
+        .expect("routable fabric");
         let sim = Simulator::new(&topo, &fabric, NetParams::qdr().with_solver(kind));
         g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &(), |b, ()| {
             b.iter(|| sim.run(&program).makespan)

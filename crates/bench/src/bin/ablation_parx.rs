@@ -37,7 +37,8 @@ fn main() {
             Placement::linear(&nodes, 28),
             Pml::BfoParx { threshold },
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let avg = average_bandwidth(&mpigraph(&fabric, 28, 1 << 20));
         let label = match threshold {
             0 => "all large (always detour)".into(),
@@ -81,7 +82,8 @@ fn main() {
             Placement::linear(&nodes, n),
             Pml::parx(),
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let mut rp = RoundProgram::new(n);
         rp.exchange(phase.clone());
         println!("  {name:<20} {:.4} s", estimate(&fabric, &rp));
@@ -120,7 +122,8 @@ fn main() {
             Placement::linear(&nodes, n),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let s = effective_bisection_bandwidth(&fabric, n, 1 << 20, 100, 7);
         let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
         println!("  {name:<20} {mean:.3} GiB/s");
@@ -135,7 +138,8 @@ fn main() {
         Placement::linear(&nodes, n),
         Pml::Ob1,
         NetParams::qdr(),
-    );
+    )
+    .expect("routable fabric");
     let mut rp = RoundProgram::new(n);
     rp.alltoall(1 << 20);
     let static_dfsssp = {
@@ -145,7 +149,8 @@ fn main() {
             Placement::linear(&nodes, n),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         estimate(&f, &rp)
     };
     let static_parx = {
@@ -155,7 +160,8 @@ fn main() {
             Placement::linear(&nodes, n),
             Pml::parx(),
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         estimate(&f, &rp)
     };
     let adaptive = estimate_adaptive(&fabric, &rp, 4);
@@ -177,7 +183,8 @@ fn main() {
         Placement::linear(&nodes, 64),
         Pml::Ob1,
         NetParams::qdr(),
-    );
+    )
+    .expect("routable fabric");
     let mut ring = RoundProgram::new(64);
     ring.allreduce_ring_among(&g, 64 << 20);
     let mut rab = RoundProgram::new(64);

@@ -75,7 +75,8 @@ fn main() {
             Placement::linear(&nodes, 672),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let samples = effective_bisection_bandwidth(&fabric, 672, 1 << 20, 60, 5);
         let ebb = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(

@@ -35,8 +35,9 @@ fn main() {
             sys.routes(combo),
             hxmpi::Placement::linear(&sys.topo(combo).nodes().collect::<Vec<_>>(), n),
             combo.pml(),
-            sys.params,
-        );
+            sys.params(),
+        )
+        .expect("routable fabric");
         let m = mpigraph(&fabric, n, bytes);
         let avg = average_bandwidth(&m);
         match combo {

@@ -11,6 +11,11 @@
 //! * the campaign emitted at least one complete causal chain
 //!   `step → fail_link → pathdb_patch` plus `repath`/`resolve` siblings,
 //!   and a `step → recover_link` recovery chain,
+//! * plane ids are causally consistent: a span stamped with a plane id
+//!   never hangs under a parent stamped with a *different* one, and for
+//!   the `multiplane_campaign` harness every `step` span carries a plane
+//!   id and at least one plane-tagged `failover` span exists (the rail
+//!   failover actually ran),
 //! * the flight dump parses, its ring retained events, and it holds the
 //!   tail of the same story (a `step` span-end record).
 //!
@@ -40,6 +45,7 @@ struct SpanEv {
     dur: f64,
     parent: u64,
     kind: Option<String>,
+    plane: Option<u64>,
 }
 
 fn load(path: &PathBuf) -> Json {
@@ -48,7 +54,7 @@ fn load(path: &PathBuf) -> Json {
     Json::parse(&text).unwrap_or_else(|e| fail(&format!("{}: bad JSON: {e}", path.display())))
 }
 
-fn validate_trace(path: &PathBuf) -> HashMap<u64, SpanEv> {
+fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
     let doc = load(path);
     let events = doc
         .get("traceEvents")
@@ -86,6 +92,10 @@ fn validate_trace(path: &PathBuf) -> HashMap<u64, SpanEv> {
                 .and_then(|a| a.get("kind"))
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            plane: args
+                .and_then(|a| a.get("plane"))
+                .and_then(Json::as_num)
+                .map(|v| v as u64),
         };
         if !(sp.ts.is_finite() && sp.dur.is_finite() && sp.dur >= 0.0) {
             fail(&format!(
@@ -170,6 +180,48 @@ fn validate_trace(path: &PathBuf) -> HashMap<u64, SpanEv> {
     if !recover_chain {
         fail("no step→recover_link chain in trace");
     }
+
+    // Plane causality: a plane-stamped span never hangs under a parent
+    // stamped with a different plane (multi-plane events patch exactly one
+    // shard, so whole causal trees live on one plane).
+    for (id, sp) in &spans {
+        if sp.parent == 0 {
+            continue;
+        }
+        let (Some(cp), Some(pp)) = (sp.plane, spans.get(&sp.parent).and_then(|p| p.plane)) else {
+            continue;
+        };
+        if cp != pp {
+            fail(&format!(
+                "span {id} ({:?}) on plane {cp} hangs under a parent on plane {pp}",
+                sp.name
+            ));
+        }
+    }
+
+    // Multi-plane harnesses must tell a plane-tagged story: every churn
+    // step names its plane, and the rail-failover path actually ran.
+    if harness == "multiplane_campaign" {
+        let mut step_planes = std::collections::BTreeSet::new();
+        let mut failover = false;
+        for (id, sp) in &spans {
+            if sp.name == "step" {
+                match sp.plane {
+                    Some(p) => {
+                        step_planes.insert(p);
+                    }
+                    None => fail(&format!("multi-plane step span {id} carries no plane id")),
+                }
+            }
+            failover |= sp.name == "failover" && sp.plane.is_some();
+        }
+        if step_planes.is_empty() {
+            fail("no plane-tagged step spans in multi-plane trace");
+        }
+        if !failover {
+            fail("no plane-tagged failover span in multi-plane trace (rail failover never ran)");
+        }
+    }
     spans
 }
 
@@ -231,7 +283,7 @@ fn main() {
 
     let trace = dir.join(format!("{harness}.trace.json"));
     let flight = dir.join("flightdump.json");
-    let spans = validate_trace(&trace);
+    let spans = validate_trace(&trace, &harness);
     validate_flight(&flight);
     println!(
         "obs_validate: OK — {} spans nested cleanly in {}, flight dump {} valid",

@@ -97,6 +97,10 @@ pub const HARNESSES: &[Harness] = &[
         about: "seeded MTBF/MTTR fault-churn campaign",
     },
     Harness {
+        name: "multiplane_campaign",
+        about: "K-plane churn campaign with NIC rail failover",
+    },
+    Harness {
         name: "hxperf",
         about: "benchmark-trajectory point + perf-regression gate",
     },
@@ -162,10 +166,10 @@ pub fn build_full() -> T2hx {
         "# built dual-plane system in {:.1?}: FT {} switches / HX {} switches; \
          DFSSSP {} VLs, PARX {} VLs",
         t0.elapsed(),
-        sys.fattree.num_switches(),
-        sys.hyperx.num_switches(),
-        sys.hx_dfsssp.num_vls,
-        sys.hx_parx.num_vls,
+        sys.fattree().num_switches(),
+        sys.hyperx().num_switches(),
+        sys.hx_dfsssp().num_vls,
+        sys.hx_parx().num_vls,
     );
     sys
 }

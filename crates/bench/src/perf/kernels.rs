@@ -4,8 +4,9 @@
 //! build, routing sweep, flow setup), then measures only the operation the
 //! per-PR speedups were claimed on: the PathDb extraction, the incremental
 //! fail/recover patch, the congestion re-solve under churn, the DES event
-//! loop, the eBB/mpiGraph sampling inner loops, and the campaign
-//! fail→propagate→recover round-trip.
+//! loop, the eBB/mpiGraph sampling inner loops, the campaign
+//! fail→propagate→recover round-trip, and the multi-plane pieces: the
+//! K-shard PlaneSet build and the rail-failover churn step.
 //!
 //! Full mode runs on the paper's degraded plane (12x8 HyperX, T = 7, 672
 //! nodes, the 15 missing AOCs); `T2HX_QUICK=1` shrinks to a 6x4 T = 2
@@ -14,12 +15,12 @@
 //! ever being compared against each other.
 
 use super::{time_loop, time_loop_batched, Kernel};
-use hxcore::{with_stepper, CampaignConfig};
+use hxcore::{with_multi_stepper, with_stepper, CampaignConfig, MultiPlaneConfig};
 use hxload::ebb::{effective_bisection_bandwidth, EBB_BYTES};
 use hxload::mpigraph::mpigraph;
-use hxmpi::{Fabric, Placement, Pml, ScheduleBuilder};
+use hxmpi::{Fabric, Placement, Pml, RailPolicy, ScheduleBuilder};
 use hxroute::engines::{Dfsssp, RoutingEngine};
-use hxroute::{DirLink, PathDb, SubnetManager};
+use hxroute::{DirLink, PathDb, PlaneSet, Routes, SubnetManager};
 use hxsim::{FluidNet, NetParams, Simulator, SolverKind};
 use hxtopo::hyperx::HyperXConfig;
 use hxtopo::{FaultPlan, LinkClass, LinkId, NodeId, Topology};
@@ -30,6 +31,11 @@ pub const ALL: &[Kernel] = &[
         name: "pathdb_build",
         about: "full PathDb extraction from swept routes (threads auto)",
         collect: pathdb_build,
+    },
+    Kernel {
+        name: "pathdb_build_multiplane",
+        about: "K-shard PlaneSet build of a replicated multi-plane system",
+        collect: pathdb_build_multiplane,
     },
     Kernel {
         name: "fail_in_place",
@@ -72,6 +78,11 @@ pub const ALL: &[Kernel] = &[
         collect: campaign_step,
     },
     Kernel {
+        name: "rail_failover",
+        about: "multi-plane churn step with forced flow failover across rails",
+        collect: rail_failover,
+    },
+    Kernel {
         name: "obs_disabled",
         about: "disabled-path overhead of span/counter/sketch call sites",
         collect: obs_disabled,
@@ -107,6 +118,27 @@ fn pathdb_build(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>
         PathDb::build(&topo, &routes, 1, 0).unwrap();
     });
     (scale.to_string(), ns)
+}
+
+/// Planes per multi-plane kernel: 2 rails in quick mode, the 4-rail
+/// acceptance system (4 x 12x8 = 2688 endpoints) in full mode.
+fn rail_count(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        4
+    }
+}
+
+fn pathdb_build_multiplane(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let k = rail_count(quick);
+    let routes = Dfsssp::default().route(&topo).unwrap();
+    let shards: Vec<(&Topology, &Routes)> = (0..k).map(|_| (&topo, &routes)).collect();
+    let ns = time_loop(warmup, samples, || {
+        PlaneSet::build(&shards, 1, 0).unwrap();
+    });
+    (format!("{scale}xK{k}"), ns)
 }
 
 /// Swept state shared by the fail/recover kernels.
@@ -221,7 +253,8 @@ fn des_churn(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
         Placement::linear(&nodes, n),
         Pml::Ob1,
         params,
-    );
+    )
+    .expect("routable fabric");
     let sim = Simulator::new(&topo, &fabric, params);
     let ns = time_loop(warmup, samples, || {
         sim.run(&program);
@@ -241,7 +274,8 @@ fn ebb_sample(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) 
         Placement::linear(&nodes, n),
         Pml::Ob1,
         params,
-    );
+    )
+    .expect("routable fabric");
     let ns = time_loop(warmup, samples, || {
         effective_bisection_bandwidth(&fabric, n, EBB_BYTES, batch, 42);
     });
@@ -260,7 +294,8 @@ fn mpigraph_matrix(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f
         Placement::linear(&nodes, n),
         Pml::Ob1,
         params,
-    );
+    )
+    .expect("routable fabric");
     let ns = time_loop(warmup, samples, || {
         mpigraph(&fabric, n, 1 << 20);
     });
@@ -283,6 +318,36 @@ fn campaign_step(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64
     })
     .unwrap();
     (format!("{scale}/f{}", cfg.flows), ns)
+}
+
+/// One multi-plane churn round-trip with forced failover: kill a cable on
+/// the round-robin plane, migrate every flow riding it to surviving
+/// rails, propagate the patched shard, recover, propagate again. The K
+/// swept managers and rail fabrics are built outside the timed region.
+fn rail_failover(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let k = rail_count(quick);
+    let cfg = MultiPlaneConfig {
+        planes: k,
+        rail: RailPolicy::RoundRobin,
+        failover: true,
+        force_failover: true,
+        base: CampaignConfig {
+            seed: 0x7258,
+            flows: 16,
+            bytes: 8 << 20,
+            solver: SolverKind::Incremental,
+            ..CampaignConfig::default()
+        },
+    };
+    let engine_for = |_: usize| -> Box<dyn RoutingEngine> { Box::new(Dfsssp::default()) };
+    let ns = with_multi_stepper(&topo, engine_for, &cfg, |s| {
+        time_loop(warmup, samples, || {
+            s.step();
+        })
+    })
+    .unwrap();
+    (format!("{scale}xK{k}/f{}", cfg.base.flows), ns)
 }
 
 /// Instrumentation call sites per timed iteration of `obs_disabled`.

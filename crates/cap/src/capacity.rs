@@ -143,7 +143,8 @@ pub fn run_capacity(
             Placement::explicit(nodes, "capacity"),
             pml.clone(),
             params,
-        );
+        )
+        .expect("routable fabric");
         let sk = slot.workload.skeleton(slot.nodes);
         let detail = estimate_detailed(&fabric, &sk.iter);
         let standalone = sk.setup + sk.iters * detail.total;

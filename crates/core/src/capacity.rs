@@ -31,7 +31,7 @@ pub fn run_capacity_combo(
         topo,
         sys.routes(combo),
         combo.pml(),
-        sys.params,
+        sys.params(),
         &ordered,
         apps,
         cfg,

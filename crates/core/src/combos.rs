@@ -93,6 +93,19 @@ impl Combo {
     pub fn baseline() -> Combo {
         Combo::FtFtreeLinear
     }
+
+    /// Index of the routing plane this combo resolves against in the
+    /// [`crate::system::System`] assembled by [`crate::T2hx`]: the four
+    /// routing states in `(ftree, sssp, dfsssp, parx)` order — the two
+    /// DFSSSP combos share a plane and differ only in placement.
+    pub fn plane(&self) -> usize {
+        match self {
+            Combo::FtFtreeLinear => 0,
+            Combo::FtSsspClustered => 1,
+            Combo::HxDfssspLinear | Combo::HxDfssspRandom => 2,
+            Combo::HxParxClustered => 3,
+        }
+    }
 }
 
 #[cfg(test)]

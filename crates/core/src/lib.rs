@@ -2,9 +2,11 @@
 //!
 //! Assembles the substrates into the paper's experimental platform:
 //!
-//! * [`system`] — the dual-plane supercomputer: 672 compute nodes attached
-//!   to both a 3-level Fat-Tree plane and a 12x8 HyperX plane, each routed
-//!   by the paper's engines and degraded by the paper's cable faults,
+//! * [`system`] — plane-generic assembly ([`System`]/[`SystemBuilder`]: a
+//!   vector of routed planes with shared path stores) and the dual-plane
+//!   T2HX preset: 672 compute nodes attached to both a 3-level Fat-Tree
+//!   plane and a 12x8 HyperX plane, each routed by the paper's engines and
+//!   degraded by the paper's cable faults,
 //! * [`combos`] — the five (topology, routing, placement) combinations of
 //!   Section 4.4.3,
 //! * [`experiment`] — capability-run executor: 10 repetitions, seeded
@@ -14,7 +16,10 @@
 //!   grids, whisker rows, bandwidth heatmaps),
 //! * [`campaign`] — deterministic fault-churn campaigns: seeded MTBF/MTTR
 //!   cable failure/recovery streams driven against a live workload, with
-//!   incremental re-routing and live epoch propagation into the fabric.
+//!   incremental re-routing and live epoch propagation into the fabric,
+//! * [`multiplane`] — the K-plane extension: plane-tagged churn events,
+//!   per-shard epoch propagation, and NIC rail failover of in-flight flows
+//!   onto surviving planes.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@ pub mod campaign;
 pub mod capacity;
 pub mod combos;
 pub mod experiment;
+pub mod multiplane;
 pub mod report;
 pub mod system;
 
@@ -51,4 +57,8 @@ pub use campaign::{
 pub use capacity::run_capacity_combo;
 pub use combos::Combo;
 pub use experiment::{Runner, Samples};
-pub use system::T2hx;
+pub use multiplane::{
+    run_multiplane_campaign, with_multi_stepper, MultiPlaneConfig, MultiPlaneReport,
+    MultiPlaneStepper, MultiStepReport,
+};
+pub use system::{planes_from_env, Plane, System, SystemBuilder, T2hx};

@@ -1,0 +1,858 @@
+//! Multi-plane fault-churn campaigns: per-plane fail/recover events with
+//! live epoch propagation per shard, and NIC rail failover of in-flight
+//! flows across planes.
+//!
+//! The single-plane [`crate::campaign`] engine answers "does the subnet
+//! manager keep one fabric routed under churn". A K-plane system adds the
+//! question the rail layer exists for: when one plane degrades, traffic
+//! riding it has somewhere else to go *right now*. This module closes that
+//! loop:
+//!
+//! * K [`SubnetManager`]s (one per plane, each tagged with its plane id)
+//!   absorb a seeded MTBF/MTTR event stream in which every churn event
+//!   carries a plane id,
+//! * every event patches exactly one plane and installs the patched store
+//!   into that plane's [`PlaneSet`] shard and fabric rail — sibling shards'
+//!   epochs never move,
+//! * flows are plane-tagged: each rides the [`hxsim::FluidNet`] of the rail
+//!   a [`RailPolicy`] selected at launch. When a cable dies, the flows whose
+//!   paths crossed it *re-resolve onto a surviving plane* (rail failover)
+//!   instead of waiting out the in-place patch; unaffected flows stay put
+//!   and get re-pathed through the patched shard as usual,
+//! * the paper-shaped accounting (throughput/latency under churn vs
+//!   healthy) is kept per plane and for the whole system.
+//!
+//! Determinism matches the single-plane engine: workload and fault streams
+//! are independent `ChaCha8Rng`s, so [`MultiPlaneReport::fingerprint`] is
+//! byte-stable per seed across congestion backends.
+
+use crate::campaign::CampaignConfig;
+use hxmpi::{Fabric, MultiFabric, Placement, Pml, RailPolicy};
+use hxobs::{Span, SpanCtx};
+use hxroute::engines::RoutingEngine;
+use hxroute::{DirLink, PlaneSet, RouteError, Routes, SubnetManager};
+use hxsim::{FluidNet, NetParams, PathResolver};
+use hxtopo::{LinkClass, LinkId, NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Stream-separation constants (same scheme as the single-plane engine;
+/// different constants so a K=1 multi-plane campaign is not trivially the
+/// single-plane event sequence).
+const WORK_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+const FAULT_STREAM: u64 = 0x5851_f42d_4c95_7f2d;
+
+/// Parameters of one multi-plane fault-churn campaign.
+#[derive(Debug, Clone)]
+pub struct MultiPlaneConfig {
+    /// Number of planes (NIC rails per node).
+    pub planes: usize,
+    /// Rail-selection policy for launches and failovers.
+    pub rail: RailPolicy,
+    /// Re-resolve affected in-flight flows onto a surviving plane when a
+    /// cable under them dies (the rail-failover path). When off, affected
+    /// flows wait for the in-place patch like single-plane campaigns.
+    pub failover: bool,
+    /// Migrate *every* flow riding a faulted plane, not just those whose
+    /// paths crossed the dead cable. Forces failovers deterministically —
+    /// the CI smoke knob (`--force-failover`).
+    pub force_failover: bool,
+    /// The single-plane knobs (seed, MTBF/MTTR, duration, flows, bytes,
+    /// down-cable cap, congestion engine). `max_down` caps the whole
+    /// system's concurrently-downed cables.
+    pub base: CampaignConfig,
+}
+
+impl Default for MultiPlaneConfig {
+    fn default() -> MultiPlaneConfig {
+        MultiPlaneConfig {
+            planes: 2,
+            rail: RailPolicy::RoundRobin,
+            failover: true,
+            force_failover: false,
+            base: CampaignConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a multi-plane campaign.
+#[derive(Debug, Clone)]
+pub struct MultiPlaneReport {
+    /// Number of planes.
+    pub planes: usize,
+    /// Rail policy label.
+    pub rail: &'static str,
+    /// Per-plane routing engine labels.
+    pub engines: Vec<String>,
+    /// Congestion engine label.
+    pub solver: &'static str,
+    /// Bytes/second drained with no fault events.
+    pub healthy_throughput: f64,
+    /// Bytes/second drained under churn.
+    pub faulted_throughput: f64,
+    /// Mean flow completion time under churn (seconds).
+    pub faulted_latency: f64,
+    /// Flows completed in the healthy baseline.
+    pub healthy_completions: u64,
+    /// Flows completed under churn.
+    pub faulted_completions: u64,
+    /// Per-plane cable failures applied under churn.
+    pub failures: Vec<u64>,
+    /// Per-plane cable recoveries applied under churn.
+    pub recoveries: Vec<u64>,
+    /// Failures skipped (would disconnect, or `max_down` reached).
+    pub skipped: u64,
+    /// In-flight flows re-resolved onto a surviving plane.
+    pub failovers: u64,
+    /// Per-plane flows completed under churn.
+    pub plane_completions: Vec<u64>,
+    /// Per-plane shard epochs when the campaign ended (from the live
+    /// [`PlaneSet`], not the managers).
+    pub final_epochs: Vec<u64>,
+    /// Largest number of concurrently-downed cables (system-wide).
+    pub max_links_down: usize,
+    /// Total wall-clock nanoseconds inside fail/recover + propagation
+    /// (measurement only — excluded from the fingerprint).
+    pub reroute_ns: u128,
+}
+
+impl MultiPlaneReport {
+    /// Fractional throughput lost to churn (0 = unharmed; rail failover
+    /// should keep this near 0 for K >= 2).
+    pub fn throughput_drop(&self) -> f64 {
+        1.0 - self.faulted_throughput / self.healthy_throughput
+    }
+
+    /// FNV-1a over every deterministic field (rate bits included, wall
+    /// clock excluded): byte-equal across congestion backends per seed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.rail.as_bytes());
+        for e in &self.engines {
+            eat(e.as_bytes());
+        }
+        for v in [
+            self.healthy_throughput,
+            self.faulted_throughput,
+            self.faulted_latency,
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        let scalars = [
+            self.planes as u64,
+            self.healthy_completions,
+            self.faulted_completions,
+            self.skipped,
+            self.failovers,
+            self.max_links_down as u64,
+        ];
+        for v in scalars
+            .iter()
+            .chain(&self.failures)
+            .chain(&self.recoveries)
+            .chain(&self.plane_completions)
+            .chain(&self.final_epochs)
+        {
+            eat(&v.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// One in-flight plane-tagged flow: the rank pair, launch metadata, and
+/// the resolved hops (kept for the affected-by-victim check).
+#[derive(Debug, Clone)]
+struct MpFlow {
+    src: usize,
+    dst: usize,
+    seq: u64,
+    started: f64,
+    hops: Vec<DirLink>,
+}
+
+/// The live multi-plane system: K managers, K fluid nets, the sharded
+/// store handle, and the rail-selecting fabric bundle.
+struct MpSystem<'a> {
+    sms: Vec<SubnetManager>,
+    mf: &'a MultiFabric<'a>,
+    set: PlaneSet,
+    nets: Vec<FluidNet>,
+    /// Per-plane flow contexts, indexed by that plane's net flow id.
+    ctx: Vec<Vec<Option<MpFlow>>>,
+    cfg: MultiPlaneConfig,
+    seq: u64,
+}
+
+impl MpSystem<'_> {
+    /// Rebuilds fresh fluid nets and launches the configured closed-loop
+    /// flows — each workload phase (healthy baseline, churn replay) starts
+    /// from the same initial population, exactly like the single-plane
+    /// engine's per-run nets.
+    fn reset(&mut self, work_rng: &mut ChaCha8Rng) {
+        self.nets = (0..self.cfg.planes)
+            .map(|p| {
+                let mut net = FluidNet::with_solver(self.mf.rail(p).topo, self.cfg.base.solver);
+                net.set_plane(p as u32);
+                net.set_obs_epoch(self.set.epoch(p));
+                net
+            })
+            .collect();
+        self.ctx = vec![Vec::new(); self.cfg.planes];
+        self.seq = 0;
+        for _ in 0..self.cfg.base.flows {
+            self.launch(work_rng, 0.0);
+        }
+        for net in &mut self.nets {
+            net.recompute();
+        }
+    }
+
+    /// Starts one closed-loop flow on the rail the policy picks.
+    fn launch(&mut self, rng: &mut ChaCha8Rng, now: f64) {
+        let n = self.mf.rail(0).placement.num_ranks();
+        let src = rng.gen_range(0..n);
+        let mut dst = rng.gen_range(0..n - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let plane = self.mf.select_rail(src, dst, seq);
+        let rp = self
+            .mf
+            .resolve_on(plane, src, dst, self.cfg.base.bytes, seq);
+        let flow = MpFlow {
+            src,
+            dst,
+            seq,
+            started: now,
+            hops: rp.hops.clone(),
+        };
+        let id = self.nets[plane].add_flow(rp.hops, self.cfg.base.bytes);
+        if id == self.ctx[plane].len() {
+            self.ctx[plane].push(Some(flow));
+        } else {
+            self.ctx[plane][id] = Some(flow);
+        }
+    }
+
+    /// Installs plane `p`'s freshly-patched store into its shard and rail,
+    /// then re-paths that plane's surviving flows through it. Sibling
+    /// shards are untouched (asserted in tests).
+    fn propagate(&mut self, p: usize, parent: SpanCtx) {
+        let db = self.sms[p].pathdb().expect("swept").clone();
+        self.set.install(p, db.clone());
+        self.mf.rail(p).install_pathdb(db.clone());
+        self.nets[p].set_obs_epoch(db.epoch());
+        let mut sp = Span::under(parent, hxobs::track::RUNNER, 0, "repath", "campaign");
+        sp.set_plane(p as u32);
+        sp.set_epoch(db.epoch());
+        let mut repathed = 0u64;
+        for id in 0..self.ctx[p].len() {
+            let Some(flow) = self.ctx[p][id].clone() else {
+                continue;
+            };
+            let rp = self
+                .mf
+                .rail(p)
+                .resolve(flow.src, flow.dst, self.cfg.base.bytes, flow.seq);
+            self.nets[p].repath(id, &rp.hops);
+            self.ctx[p][id].as_mut().expect("checked above").hops = rp.hops;
+            repathed += 1;
+        }
+        sp.arg("flows", hxobs::Json::from(repathed));
+        sp.end();
+        let mut resolve_sp = Span::under(parent, hxobs::track::RUNNER, 0, "resolve", "campaign");
+        resolve_sp.set_plane(p as u32);
+        resolve_sp.set_epoch(db.epoch());
+        self.nets[p].recompute();
+        resolve_sp.end();
+    }
+
+    /// Rail failover: moves flows off plane `p` onto a surviving plane,
+    /// preserving their remaining bytes. With `all` unset only flows whose
+    /// current path crosses `victim` move; with it, every flow on the
+    /// plane does. Returns how many flows migrated.
+    fn failover(&mut self, p: usize, victim: LinkId, all: bool, parent: SpanCtx) -> u64 {
+        if self.mf.healthy_planes().iter().all(|&q| q == p) {
+            return 0; // nowhere to go
+        }
+        let mut sp = Span::under(parent, hxobs::track::RUNNER, 0, "failover", "campaign");
+        sp.set_plane(p as u32);
+        sp.arg("link", hxobs::Json::from(victim.0 as u64));
+        // The faulted plane must not win selection for the migrating flows.
+        self.mf.fail_plane(p);
+        let mut moved = 0u64;
+        let mut drained_any = false;
+        for id in 0..self.ctx[p].len() {
+            let affected = match &self.ctx[p][id] {
+                Some(f) => all || f.hops.iter().any(|h| h.link() == victim),
+                None => continue,
+            };
+            if !affected {
+                continue;
+            }
+            let flow = self.ctx[p][id].take().expect("checked above");
+            let remaining = self.nets[p].flow_remaining(id).unwrap_or(0.0) as u64;
+            self.nets[p].remove(id);
+            drained_any = true;
+            let q = self.mf.select_rail(flow.src, flow.dst, flow.seq);
+            let rp = self
+                .mf
+                .resolve_on(q, flow.src, flow.dst, remaining.max(1), flow.seq);
+            let moved_flow = MpFlow {
+                hops: rp.hops.clone(),
+                ..flow
+            };
+            let nid = self.nets[q].add_flow(rp.hops, remaining.max(1));
+            if nid == self.ctx[q].len() {
+                self.ctx[q].push(Some(moved_flow));
+            } else {
+                self.ctx[q][nid] = Some(moved_flow);
+            }
+            self.nets[q].recompute();
+            moved += 1;
+        }
+        if drained_any {
+            self.nets[p].recompute();
+        }
+        self.mf.recover_plane(p);
+        hxobs::count("campaign.failovers", moved);
+        sp.arg("flows", hxobs::Json::from(moved));
+        sp.end();
+        moved
+    }
+}
+
+/// Builds the K-plane live system (managers swept, rails bundled, flows
+/// launched) and hands it to `f` — the borrow-friendly shape for the
+/// fabric's internal lifetimes.
+fn with_system<R>(
+    topo: &Topology,
+    engine_for: impl Fn(usize) -> Box<dyn RoutingEngine>,
+    cfg: &MultiPlaneConfig,
+    f: impl FnOnce(MpSystem<'_>) -> Result<R, RouteError>,
+) -> Result<R, RouteError> {
+    assert!(cfg.planes >= 1, "a campaign needs at least one plane");
+    let mut sms = Vec::with_capacity(cfg.planes);
+    for p in 0..cfg.planes {
+        let mut sm = SubnetManager::new(topo.clone(), engine_for(p));
+        sm.verify = false; // throughput study; correctness pinned by tests
+        sm.plane = Some(p as u32);
+        sm.sweep()?;
+        sms.push(sm);
+    }
+    let states: Vec<(Topology, Routes)> = sms
+        .iter()
+        .map(|sm| (sm.topo().clone(), sm.routes().expect("swept").clone()))
+        .collect();
+    let nodes: Vec<NodeId> = states[0].0.nodes().collect();
+    let n = nodes.len();
+    let placement = Placement::linear(&nodes, n);
+    let rails: Vec<Fabric<'_>> = states
+        .iter()
+        .zip(&sms)
+        .map(|((t, r), sm)| {
+            Fabric::with_pathdb(
+                t,
+                r,
+                placement.clone(),
+                Pml::Ob1,
+                NetParams::qdr().with_solver(cfg.base.solver),
+                sm.pathdb().expect("swept").clone(),
+            )
+        })
+        .collect();
+    let mf = MultiFabric::new(rails, cfg.rail);
+    let set = PlaneSet::new(
+        sms.iter()
+            .map(|sm| sm.pathdb().expect("swept").clone())
+            .collect(),
+    );
+    let nets = (0..cfg.planes)
+        .map(|p| {
+            let mut net = FluidNet::with_solver(mf.rail(p).topo, cfg.base.solver);
+            net.set_plane(p as u32);
+            net.set_obs_epoch(set.epoch(p));
+            net
+        })
+        .collect();
+    let sys = MpSystem {
+        sms,
+        mf: &mf,
+        set,
+        nets,
+        ctx: vec![Vec::new(); cfg.planes],
+        cfg: cfg.clone(),
+        seq: 0,
+    };
+    f(sys)
+}
+
+/// Runs the closed-loop workload over the K nets; `churn` switches the
+/// plane-tagged fault process on. Fills the report's faulted or healthy
+/// side accordingly.
+fn run_loop(sys: &mut MpSystem<'_>, report: &mut MultiPlaneReport, churn: bool) {
+    let cfg = sys.cfg.clone();
+    // Independent streams: the workload draw sequence must not shift when
+    // the fault schedule consumes differently (and vice versa).
+    let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.base.seed ^ WORK_STREAM);
+    let work_rng = &mut work_rng;
+    let mut fault_rng = ChaCha8Rng::seed_from_u64(cfg.base.seed ^ FAULT_STREAM);
+    sys.reset(work_rng);
+    let mut bytes_done = 0u64;
+    let mut completions = 0u64;
+    let mut latency_sum = 0.0f64;
+    let mut next_fail = churn.then(|| exp_sample(&mut fault_rng, cfg.base.mtbf));
+    let mut down: Vec<(f64, usize, LinkId)> = Vec::new();
+    let mut drained: Vec<usize> = Vec::new();
+
+    loop {
+        let t_complete = (0..cfg.planes)
+            .filter_map(|p| sys.nets[p].next_completion())
+            .fold(f64::INFINITY, f64::min);
+        let t_fail = next_fail.unwrap_or(f64::INFINITY);
+        let t_repair = down
+            .iter()
+            .map(|&(t, _, _)| t)
+            .fold(f64::INFINITY, f64::min);
+        let t = t_complete.min(t_fail).min(t_repair);
+        if t >= cfg.base.duration {
+            for net in &mut sys.nets {
+                net.advance_to(cfg.base.duration);
+            }
+            break;
+        }
+        for net in &mut sys.nets {
+            net.advance_to(t);
+        }
+        if t_complete <= t_fail && t_complete <= t_repair {
+            let mut finished = 0usize;
+            for p in 0..cfg.planes {
+                sys.nets[p].drained_into(&mut drained);
+                let epoch = sys.set.epoch(p);
+                for &id in &drained {
+                    let c = sys.ctx[p][id].take().expect("drained flow has context");
+                    bytes_done += cfg.base.bytes;
+                    completions += 1;
+                    if churn {
+                        report.plane_completions[p] += 1;
+                    }
+                    latency_sum += t - c.started;
+                    hxobs::sketch_record_plane(
+                        "flow.completion_us",
+                        epoch,
+                        p as u32,
+                        (t - c.started) * 1e6,
+                    );
+                    sys.nets[p].remove(id);
+                }
+                finished += drained.len();
+                if !drained.is_empty() {
+                    sys.nets[p].recompute();
+                }
+            }
+            // Closed loop: replacements keep the offered load constant
+            // (rail policy re-selects, so a recovered plane wins back
+            // traffic here).
+            for _ in 0..finished {
+                sys.launch(work_rng, t);
+            }
+            for net in &mut sys.nets {
+                net.recompute();
+            }
+        } else if t_fail <= t_repair {
+            let p = fault_rng.gen_range(0..cfg.planes);
+            let candidates: Vec<LinkId> = sys.sms[p]
+                .topo()
+                .links()
+                .filter(|&(id, l)| {
+                    l.class != LinkClass::Terminal && sys.sms[p].topo().is_active(id)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            if candidates.is_empty() || down.len() >= cfg.base.max_down {
+                report.skipped += 1;
+            } else {
+                let victim = candidates[fault_rng.gen_range(0..candidates.len())];
+                let t0 = std::time::Instant::now();
+                let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+                step_sp.set_plane(p as u32);
+                step_sp.arg("kind", hxobs::Json::from("fail"));
+                step_sp.arg("link", hxobs::Json::from(victim.0 as u64));
+                let step = step_sp.ctx();
+                match sys.sms[p].fail_link_spanned(victim, step) {
+                    Ok(r) => {
+                        report.failures[p] += 1;
+                        if cfg.failover {
+                            report.failovers += sys.failover(p, victim, cfg.force_failover, step);
+                        }
+                        sys.propagate(p, step);
+                        down.push((t + exp_sample(&mut fault_rng, cfg.base.mttr), p, victim));
+                        report.max_links_down = report.max_links_down.max(down.len());
+                        report.reroute_ns += t0.elapsed().as_nanos();
+                        step_sp.set_epoch(r.epoch);
+                        step_sp.end();
+                    }
+                    Err(_) => {
+                        // Disconnecting kill: rolled back inside fail_link.
+                        report.skipped += 1;
+                        report.reroute_ns += t0.elapsed().as_nanos();
+                        step_sp.arg("rolled_back", hxobs::Json::from(true));
+                        step_sp.end();
+                    }
+                }
+            }
+            hxobs::gauge("campaign.links_down", down.len() as f64);
+            next_fail = Some(t + exp_sample(&mut fault_rng, cfg.base.mtbf));
+        } else {
+            let i = down
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .map(|(i, _)| i)
+                .expect("repair event requires a downed cable");
+            let (_, p, l) = down.swap_remove(i);
+            recover_one(sys, report, p, l);
+            hxobs::gauge("campaign.links_down", down.len() as f64);
+        }
+    }
+    // Account the tail: bytes moved by still-running flows count toward
+    // throughput (the workload is a sustained stream, not a batch).
+    for p in 0..cfg.planes {
+        for (id, c) in sys.ctx[p].iter().enumerate() {
+            if c.is_some() {
+                let left = sys.nets[p].flow_remaining(id).unwrap_or(0.0);
+                bytes_done += cfg.base.bytes.saturating_sub(left as u64);
+            }
+        }
+    }
+    // Heal every plane so back-to-back runs see the same starting state.
+    for (_, p, l) in std::mem::take(&mut down) {
+        recover_one(sys, report, p, l);
+    }
+    let latency = if completions > 0 {
+        latency_sum / completions as f64
+    } else {
+        f64::INFINITY
+    };
+    let throughput = bytes_done as f64 / cfg.base.duration;
+    if churn {
+        report.faulted_throughput = throughput;
+        report.faulted_latency = latency;
+        report.faulted_completions = completions;
+    } else {
+        report.healthy_throughput = throughput;
+        report.healthy_completions = completions;
+    }
+}
+
+/// Recovers one downed cable on one plane and propagates its shard.
+fn recover_one(sys: &mut MpSystem<'_>, report: &mut MultiPlaneReport, p: usize, l: LinkId) {
+    let t0 = std::time::Instant::now();
+    let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+    step_sp.set_plane(p as u32);
+    step_sp.arg("kind", hxobs::Json::from("recover"));
+    step_sp.arg("link", hxobs::Json::from(l.0 as u64));
+    let step = step_sp.ctx();
+    let r = sys.sms[p]
+        .recover_link_spanned(l, step)
+        .expect("recovery re-adds capacity; it cannot disconnect");
+    report.recoveries[p] += 1;
+    sys.propagate(p, step);
+    report.reroute_ns += t0.elapsed().as_nanos();
+    step_sp.set_epoch(r.epoch);
+    step_sp.end();
+}
+
+/// Exponential inter-arrival sample (inverse CDF; `1 - u` dodges `ln(0)`).
+fn exp_sample(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Runs a full multi-plane campaign: K planes of `topo` routed by
+/// `engine_for(p)`, a healthy closed-loop baseline, then the same workload
+/// under plane-tagged churn with rail failover.
+pub fn run_multiplane_campaign(
+    topo: &Topology,
+    engine_for: impl Fn(usize) -> Box<dyn RoutingEngine>,
+    cfg: &MultiPlaneConfig,
+) -> Result<MultiPlaneReport, RouteError> {
+    with_system(topo, engine_for, cfg, |mut sys| {
+        let mut report = MultiPlaneReport {
+            planes: cfg.planes,
+            rail: cfg.rail.label(),
+            engines: sys
+                .sms
+                .iter()
+                .map(|sm| sm.routes().expect("swept").engine.to_string())
+                .collect(),
+            solver: cfg.base.solver.label(),
+            healthy_throughput: 0.0,
+            faulted_throughput: 0.0,
+            faulted_latency: 0.0,
+            healthy_completions: 0,
+            faulted_completions: 0,
+            failures: vec![0; cfg.planes],
+            recoveries: vec![0; cfg.planes],
+            skipped: 0,
+            failovers: 0,
+            plane_completions: vec![0; cfg.planes],
+            final_epochs: Vec::new(),
+            max_links_down: 0,
+            reroute_ns: 0,
+        };
+        // Healthy baseline first, then the same workload replayed under
+        // churn on the healed system.
+        run_loop(&mut sys, &mut report, false);
+        run_loop(&mut sys, &mut report, true);
+        report.final_epochs = sys.set.epochs();
+        if let Some(o) = hxobs::sink() {
+            use hxobs::Recorder;
+            o.counter_add("campaign.failures", report.failures.iter().sum());
+            o.counter_add("campaign.recoveries", report.recoveries.iter().sum());
+            o.histogram_record("campaign.reroute_ns", report.reroute_ns as f64);
+        }
+        Ok(report)
+    })
+}
+
+/// Outcome of one [`MultiPlaneStepper::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiStepReport {
+    /// The plane the step degraded and healed.
+    pub plane: usize,
+    /// The cable the step killed and restored.
+    pub victim: LinkId,
+    /// In-flight flows the step re-resolved onto surviving planes.
+    pub failovers: u64,
+    /// The plane's shard epoch after the step.
+    pub epoch: u64,
+}
+
+/// A live multi-plane system exposing one churn round-trip at a time — the
+/// single-step hook behind `hxperf`'s `rail_failover` kernel.
+///
+/// Each [`step`](MultiPlaneStepper::step) kills one random active cable on
+/// a round-robin plane, fails affected flows over to surviving rails,
+/// propagates the patched shard, restores the cable, and propagates again.
+/// The system ends every step healthy, so steps repeat indefinitely.
+pub struct MultiPlaneStepper<'a> {
+    sys: MpSystem<'a>,
+    fault_rng: ChaCha8Rng,
+    round: usize,
+}
+
+impl MultiPlaneStepper<'_> {
+    /// Applies one fail → failover → propagate → recover → propagate
+    /// round-trip on the next plane (round-robin). Disconnecting victims
+    /// are redrawn, so a step always completes.
+    pub fn step(&mut self) -> MultiStepReport {
+        let cfg = self.sys.cfg.clone();
+        let p = self.round % cfg.planes;
+        self.round += 1;
+        loop {
+            let candidates: Vec<LinkId> = self.sys.sms[p]
+                .topo()
+                .links()
+                .filter(|&(id, l)| {
+                    l.class != LinkClass::Terminal && self.sys.sms[p].topo().is_active(id)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            let victim = candidates[self.fault_rng.gen_range(0..candidates.len())];
+            let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
+            step_sp.set_plane(p as u32);
+            step_sp.arg("link", hxobs::Json::from(victim.0 as u64));
+            let step = step_sp.ctx();
+            let Ok(_) = self.sys.sms[p].fail_link_spanned(victim, step) else {
+                step_sp.arg("rolled_back", hxobs::Json::from(true));
+                step_sp.end();
+                continue; // disconnecting kill: rolled back, redraw
+            };
+            let failovers = if cfg.failover {
+                self.sys.failover(p, victim, cfg.force_failover, step)
+            } else {
+                0
+            };
+            self.sys.propagate(p, step);
+            self.sys.sms[p]
+                .recover_link_spanned(victim, step)
+                .expect("recovery re-adds capacity; it cannot disconnect");
+            self.sys.propagate(p, step);
+            let epoch = self.sys.set.epoch(p);
+            step_sp.set_epoch(epoch);
+            step_sp.end();
+            return MultiStepReport {
+                plane: p,
+                victim,
+                failovers,
+                epoch,
+            };
+        }
+    }
+
+    /// In-flight closed-loop flows across all planes.
+    pub fn active_flows(&self) -> usize {
+        self.sys.nets.iter().map(|n| n.active_flows()).sum()
+    }
+
+    /// Per-plane shard epochs (from the live [`PlaneSet`]).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.sys.set.epochs()
+    }
+}
+
+/// Builds a live K-plane system on `topo` and hands a [`MultiPlaneStepper`]
+/// to `f`. Streams are seeded exactly like [`run_multiplane_campaign`].
+pub fn with_multi_stepper<R>(
+    topo: &Topology,
+    engine_for: impl Fn(usize) -> Box<dyn RoutingEngine>,
+    cfg: &MultiPlaneConfig,
+    f: impl FnOnce(&mut MultiPlaneStepper<'_>) -> R,
+) -> Result<R, RouteError> {
+    with_system(topo, engine_for, cfg, |mut sys| {
+        let mut work_rng = ChaCha8Rng::seed_from_u64(cfg.base.seed ^ WORK_STREAM);
+        sys.reset(&mut work_rng);
+        let mut stepper = MultiPlaneStepper {
+            sys,
+            fault_rng: ChaCha8Rng::seed_from_u64(cfg.base.seed ^ FAULT_STREAM),
+            round: 0,
+        };
+        Ok(f(&mut stepper))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxroute::engines::{Dfsssp, MinHop, Sssp};
+    use hxsim::SolverKind;
+    use hxtopo::hyperx::HyperXConfig;
+
+    fn quick_cfg(planes: usize, rail: RailPolicy) -> MultiPlaneConfig {
+        MultiPlaneConfig {
+            planes,
+            rail,
+            failover: true,
+            force_failover: false,
+            base: CampaignConfig {
+                seed: 42,
+                mtbf: 0.003,
+                mttr: 0.006,
+                duration: 0.08,
+                flows: 8,
+                bytes: 1 << 20,
+                max_down: 4,
+                solver: SolverKind::Exact,
+            },
+        }
+    }
+
+    fn engines(p: usize) -> Box<dyn RoutingEngine> {
+        match p % 3 {
+            0 => Box::<Dfsssp>::default(),
+            1 => Box::<MinHop>::default(),
+            _ => Box::<Sssp>::default(),
+        }
+    }
+
+    #[test]
+    fn two_plane_campaign_reports_churn_and_failovers() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let mut cfg = quick_cfg(2, RailPolicy::RoundRobin);
+        cfg.force_failover = true;
+        let r = run_multiplane_campaign(&topo, engines, &cfg).unwrap();
+        assert_eq!(r.planes, 2);
+        let fails: u64 = r.failures.iter().sum();
+        assert!(fails > 0, "no churn at mtbf << duration: {r:?}");
+        assert_eq!(
+            r.failures, r.recoveries,
+            "heal must recover all per plane: {r:?}"
+        );
+        assert!(r.failovers > 0, "forced failover must migrate flows: {r:?}");
+        assert!(r.healthy_throughput > 0.0);
+        assert!(r.faulted_throughput > 0.0);
+        assert!(
+            r.faulted_throughput <= r.healthy_throughput * 1.001,
+            "churn increased throughput? {r:?}"
+        );
+        // Only churned planes' shards moved past the initial epoch 1.
+        for (p, &e) in r.final_epochs.iter().enumerate() {
+            assert!(
+                e >= 1 + r.failures[p] + r.recoveries[p],
+                "plane {p} epoch {e} vs events {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed_and_policy() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        for rail in RailPolicy::all() {
+            let cfg = quick_cfg(2, rail);
+            let a = run_multiplane_campaign(&topo, engines, &cfg).unwrap();
+            let b = run_multiplane_campaign(&topo, engines, &cfg).unwrap();
+            assert_eq!(a.fingerprint(), b.fingerprint(), "{rail:?}");
+            let mut c2 = cfg.clone();
+            c2.base.solver = SolverKind::Incremental;
+            let c = run_multiplane_campaign(&topo, engines, &c2).unwrap();
+            assert_eq!(
+                a.fingerprint(),
+                c.fingerprint(),
+                "{rail:?} across backends\n{a:?}\nvs\n{c:?}"
+            );
+        }
+        // Different seed: different campaign.
+        let mut cfg = quick_cfg(2, RailPolicy::RoundRobin);
+        cfg.base.seed = 43;
+        let d = run_multiplane_campaign(&topo, engines, &cfg).unwrap();
+        let a =
+            run_multiplane_campaign(&topo, engines, &quick_cfg(2, RailPolicy::RoundRobin)).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn stepper_heals_and_round_robins_planes() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let mut cfg = quick_cfg(3, RailPolicy::FlowHash);
+        cfg.force_failover = true;
+        let reports = with_multi_stepper(&topo, engines, &cfg, |s| {
+            assert_eq!(s.active_flows(), cfg.base.flows);
+            [s.step(), s.step(), s.step()]
+        })
+        .unwrap();
+        assert_eq!(
+            reports.iter().map(|r| r.plane).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        for r in &reports {
+            // fail + recover each bump the stepped plane's epoch.
+            assert!(r.epoch >= 3, "{r:?}");
+        }
+        assert!(
+            reports.iter().any(|r| r.failovers > 0),
+            "forced failover must migrate at least one flow: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn single_plane_system_survives_without_failover_targets() {
+        // K = 1: failover has nowhere to go and must degrade gracefully to
+        // in-place patching.
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let mut cfg = quick_cfg(1, RailPolicy::LeastLoaded);
+        cfg.force_failover = true;
+        let r = run_multiplane_campaign(&topo, engines, &cfg).unwrap();
+        assert_eq!(r.failovers, 0);
+        assert!(r.failures.iter().sum::<u64>() > 0);
+        assert!(r.faulted_completions > 0);
+    }
+}

@@ -54,7 +54,8 @@ mod tests {
             Placement::linear(&nodes, 16),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let mut prev = 0.0;
         for len in deepbench_lengths() {
             let lat = allreduce_latency(&f, 16, len);

@@ -106,7 +106,8 @@ mod tests {
             Placement::linear(&nodes, 16),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let samples = effective_bisection_bandwidth(&f, 16, EBB_BYTES, 20, 1);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         // QDR line rate ~3.17 GiB/s; a full-bisection tree with static
@@ -128,7 +129,8 @@ mod tests {
             Placement::linear(&nodes, 14),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let samples = effective_bisection_bandwidth(&f, 14, EBB_BYTES, 20, 2);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         // Random bisections put ~half the pairs across the single cable,
@@ -147,7 +149,8 @@ mod tests {
             Placement::linear(&nodes, 8),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let a = effective_bisection_bandwidth(&f, 8, EBB_BYTES, 5, 42);
         let b = effective_bisection_bandwidth(&f, 8, EBB_BYTES, 5, 42);
         assert_eq!(a, b);
@@ -164,7 +167,8 @@ mod tests {
             Placement::linear(&nodes, 7),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let s = effective_bisection_bandwidth(&f, 7, EBB_BYTES, 3, 1);
         assert_eq!(s.len(), 3);
         assert!(s.iter().all(|&x| x > 0.0));

@@ -226,6 +226,7 @@ mod tests {
             Pml::Ob1,
             NetParams::qdr(),
         )
+        .expect("routable fabric")
     }
 
     #[test]

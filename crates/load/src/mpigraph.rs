@@ -95,7 +95,8 @@ mod tests {
             Placement::linear(&nodes, 14),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let m = mpigraph(&f, 14, 1 << 20);
         // Intra-switch pair (0 -> 1) vs cross-switch pair (0 -> 7).
         let intra = m[1][0];
@@ -119,7 +120,8 @@ mod tests {
             Placement::linear(&nodes, 2),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let m = mpigraph(&f, 2, 1 << 20);
         // One round, both directions measured, near line rate.
         assert!(m[1][0] > 3.0 && m[0][1] > 3.0);
@@ -138,7 +140,8 @@ mod tests {
             Placement::linear(&nodes, 8),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let m = mpigraph(&f, 8, 1 << 18);
         assert_eq!(m.len(), 8);
         for (j, row) in m.iter().enumerate() {

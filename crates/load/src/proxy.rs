@@ -465,6 +465,7 @@ mod tests {
             Pml::Ob1,
             NetParams::qdr(),
         )
+        .expect("routable fabric")
     }
 
     #[test]

@@ -266,6 +266,7 @@ mod tests {
             Pml::Ob1,
             NetParams::qdr(),
         )
+        .expect("routable fabric")
     }
 
     #[test]

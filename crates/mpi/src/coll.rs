@@ -544,7 +544,8 @@ mod tests {
             Placement::linear(&nodes, prog.num_ranks()),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         Simulator::new(t, &f, NetParams::qdr()).run(prog).makespan
     }
 

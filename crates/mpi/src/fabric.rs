@@ -5,7 +5,7 @@
 
 use crate::placement::Placement;
 use crate::pml::Pml;
-use hxroute::{DirLink, PathDb, Routes};
+use hxroute::{DirLink, PathDb, RouteError, Routes};
 use hxsim::{NetParams, PathResolver, ResolvedPath};
 use hxtopo::{NodeId, Topology};
 use std::sync::{Arc, RwLock};
@@ -31,19 +31,26 @@ pub struct Fabric<'a> {
 
 impl<'a> Fabric<'a> {
     /// Assembles a fabric, extracting the complete path store from the
-    /// forwarding state (in parallel). Panics if any (node, LID) pair is
-    /// unroutable — a fabric with routing holes is a bug in the routing
-    /// stage, not a runtime condition.
+    /// forwarding state (in parallel). An unroutable `(node, LID)` pair is
+    /// reported as the underlying [`RouteError`] so multi-plane assembly
+    /// and campaign harnesses can degrade gracefully (skip the plane,
+    /// surface the fault) instead of aborting the process.
     pub fn new(
         topo: &'a Topology,
         routes: &'a Routes,
         placement: Placement,
         pml: Pml,
         params: NetParams,
-    ) -> Fabric<'a> {
-        let pathdb = PathDb::build(topo, routes, 0, 0)
-            .unwrap_or_else(|e| panic!("unroutable fabric ({}): {e}", routes.engine));
-        Self::with_pathdb(topo, routes, placement, pml, params, Arc::new(pathdb))
+    ) -> Result<Fabric<'a>, RouteError> {
+        let pathdb = PathDb::build(topo, routes, 0, 0)?;
+        Ok(Self::with_pathdb(
+            topo,
+            routes,
+            placement,
+            pml,
+            params,
+            Arc::new(pathdb),
+        ))
     }
 
     /// Assembles a fabric around an existing shared path store (the subnet
@@ -173,7 +180,8 @@ mod tests {
             Placement::explicit(nodes.clone(), "reversed"),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let rp = f.resolve(0, 1, 1024, 0);
         // Rank 0 = last node, rank 1 = second-to-last; same switch => 2 hops.
         assert_eq!(rp.hops.len(), 2);
@@ -191,7 +199,8 @@ mod tests {
             Placement::linear(&nodes, 4),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         assert!(f.resolve(2, 2, 100, 0).hops.is_empty());
     }
 
@@ -229,7 +238,8 @@ mod tests {
             Placement::linear(&nodes, 16),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let before = f.pathdb();
         assert_eq!(before.epoch(), 0);
         // A fresh build at a later epoch stands in for a patched store.
@@ -256,7 +266,8 @@ mod tests {
             Placement::linear(&nodes, 32),
             Pml::parx(),
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let rp = f.resolve(0, 20, 1 << 20, 0);
         assert!(rp.extra_overhead > 0.0);
         assert!(!rp.hops.is_empty());
@@ -275,7 +286,8 @@ mod tests {
             Placement::linear(&nodes, 32),
             Pml::parx(),
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         // Find two ranks in the same quadrant on different switches.
         let mut found = false;
         'outer: for a in 0..32usize {

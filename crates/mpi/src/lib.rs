@@ -11,6 +11,8 @@
 //! * [`fabric`] — resolves rank-to-rank messages onto routed paths
 //!   (placement + LFT walk + PML LID choice), implementing
 //!   [`hxsim::PathResolver`],
+//! * [`rail`] — NIC rail selection over K fabric planes (round-robin,
+//!   flow-hash, least-loaded) with plane-failover health masking,
 //! * [`coll`] — collective algorithm schedules (binomial, recursive
 //!   doubling, ring, Bruck, pairwise...) compiled to per-rank programs,
 //! * [`rounds`] — the round-synchronous fast evaluator for full-system
@@ -35,7 +37,8 @@
 //!     Placement::linear(&nodes, 16),
 //!     Pml::Ob1,
 //!     NetParams::qdr(),
-//! );
+//! )
+//! .expect("routable fabric");
 //! let mut rp = RoundProgram::new(16);
 //! rp.allreduce(1 << 20); // ring algorithm for large payloads
 //! let seconds = estimate(&fabric, &rp);
@@ -46,10 +49,12 @@ pub mod coll;
 pub mod fabric;
 pub mod placement;
 pub mod pml;
+pub mod rail;
 pub mod rounds;
 
 pub use coll::ScheduleBuilder;
 pub use fabric::Fabric;
 pub use placement::Placement;
 pub use pml::Pml;
+pub use rail::{MultiFabric, RailPolicy};
 pub use rounds::{estimate, estimate_adaptive, Phase, RoundProgram};

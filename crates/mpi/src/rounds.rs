@@ -727,6 +727,7 @@ mod tests {
             Pml::Ob1,
             NetParams::qdr(),
         )
+        .expect("routable fabric")
     }
 
     #[test]
@@ -905,7 +906,8 @@ mod tests {
             Placement::linear(&nodes, 16),
             Pml::Ob1, // static: always LID0
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let mut rp = RoundProgram::new(16);
         rp.alltoall(1 << 20);
         let static_t = estimate(&f, &rp);
@@ -928,7 +930,8 @@ mod tests {
             Placement::linear(&nodes, 16),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let mut rp = RoundProgram::new(16);
         rp.allreduce(1 << 16);
         // k=1 degenerates to static LID0 (minus nothing: ob1 has no extra).

@@ -30,6 +30,7 @@ fn fabric(n: usize) -> Fabric<'static> {
         Pml::Ob1,
         NetParams::qdr(),
     )
+    .expect("routable fabric")
 }
 
 /// Sanity: every posted receive has a matching send with the same

@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use sketch::{Sketch, SketchRegistry};
+pub use sketch::{Sketch, SketchRegistry, NO_PLANE};
 pub use span::{Span, SpanCtx};
 pub use stats::Summary;
 pub use trace::{TraceEvent, Tracer};
@@ -96,6 +96,8 @@ pub trait Recorder: Send + Sync {
     }
     /// Records one tail-latency sample under `name` for path-store `epoch`.
     fn sketch_record(&self, _name: &str, _epoch: u64, _value: f64) {}
+    /// Records one plane-scoped tail-latency sample (multi-rail fabrics).
+    fn sketch_record_plane(&self, _name: &str, _epoch: u64, _plane: u32, _value: f64) {}
 }
 
 /// The do-nothing sink; what disabled call sites conceptually talk to.
@@ -182,6 +184,10 @@ impl Recorder for ObsRecorder {
 
     fn sketch_record(&self, name: &str, epoch: u64, value: f64) {
         self.sketches.record(name, epoch, value);
+    }
+
+    fn sketch_record_plane(&self, name: &str, epoch: u64, plane: u32, value: f64) {
+        self.sketches.record_plane(name, epoch, plane, value);
     }
 }
 
@@ -370,6 +376,31 @@ pub fn sketch_record(name: &str, epoch: u64, value: f64) {
                 kind: flight::Kind::Sample,
                 pid: 0,
                 tid: 0,
+                ts_us: s.now_us(),
+                span: 0,
+                parent: 0,
+                epoch,
+                value,
+                name: name.to_string(),
+            });
+        }
+    }
+}
+
+/// Records a plane-scoped tail-latency sample under `name` for path-store
+/// `epoch` on fabric plane `plane` if observability is on. The per-rail
+/// sibling of [`sketch_record`]: sketch JSONL lines gain a `plane` field so
+/// multi-rail tails stay separable. The flight-ring mirror reuses `tid` to
+/// carry the plane id (flight events have no plane slot).
+#[inline]
+pub fn sketch_record_plane(name: &str, epoch: u64, plane: u32, value: f64) {
+    if enabled() {
+        if let Some(s) = sink() {
+            s.sketch_record_plane(name, epoch, plane, value);
+            flight::record(&flight::FlightEvent {
+                kind: flight::Kind::Sample,
+                pid: 0,
+                tid: plane,
                 ts_us: s.now_us(),
                 span: 0,
                 parent: 0,

@@ -137,13 +137,19 @@ impl Sketch {
     }
 }
 
-/// Per-`(name, epoch)` sketch store behind a single mutex. Tail-latency
-/// recording sites are epoch-change-rate paths (flow completions, re-solves,
-/// reroutes), not per-packet paths, so one uncontended lock is cheap; the
-/// disabled case never reaches the registry at all.
+/// Sentinel plane id meaning "not plane-scoped" — single-plane call sites
+/// never mention planes and their export lines carry no `plane` field.
+pub const NO_PLANE: u32 = u32::MAX;
+
+/// Per-`(name, epoch, plane)` sketch store behind a single mutex.
+/// Tail-latency recording sites are epoch-change-rate paths (flow
+/// completions, re-solves, reroutes), not per-packet paths, so one
+/// uncontended lock is cheap; the disabled case never reaches the registry
+/// at all. The plane key (default [`NO_PLANE`]) lets multi-rail fabrics
+/// export per-rail tails as separate JSONL lines.
 #[derive(Default)]
 pub struct SketchRegistry {
-    map: Mutex<BTreeMap<(String, u64), Sketch>>,
+    map: Mutex<BTreeMap<(String, u64, u32), Sketch>>,
 }
 
 impl SketchRegistry {
@@ -152,35 +158,68 @@ impl SketchRegistry {
         SketchRegistry::default()
     }
 
-    /// Records `value` into the sketch for `name` at `epoch`.
+    /// Records `value` into the sketch for `name` at `epoch` (unplaned).
     pub fn record(&self, name: &str, epoch: u64, value: f64) {
+        self.record_plane(name, epoch, NO_PLANE, value);
+    }
+
+    /// Records `value` into the plane-scoped sketch for `name` at `epoch`.
+    pub fn record_plane(&self, name: &str, epoch: u64, plane: u32, value: f64) {
         self.map
             .lock()
-            .entry((name.to_string(), epoch))
+            .entry((name.to_string(), epoch, plane))
             .or_default()
             .record(value);
     }
 
-    /// A copy of the sketch for `name` at `epoch`, if any samples landed.
+    /// A copy of the unplaned sketch for `name` at `epoch`, if any samples
+    /// landed.
     pub fn get(&self, name: &str, epoch: u64) -> Option<Sketch> {
-        self.map.lock().get(&(name.to_string(), epoch)).cloned()
+        self.get_plane(name, epoch, NO_PLANE)
     }
 
-    /// All epochs recorded under `name`, ascending.
-    pub fn epochs(&self, name: &str) -> Vec<u64> {
+    /// A copy of the plane-scoped sketch for `name` at `epoch`.
+    pub fn get_plane(&self, name: &str, epoch: u64, plane: u32) -> Option<Sketch> {
         self.map
             .lock()
-            .keys()
-            .filter(|(n, _)| n == name)
-            .map(|&(_, e)| e)
-            .collect()
+            .get(&(name.to_string(), epoch, plane))
+            .cloned()
     }
 
-    /// The cross-epoch merge of every sketch recorded under `name`.
+    /// All epochs recorded under `name` (any plane), ascending, deduped.
+    pub fn epochs(&self, name: &str) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .map
+            .lock()
+            .keys()
+            .filter(|(n, _, _)| n == name)
+            .map(|&(_, e, _)| e)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// All planes recorded under `name` (any epoch), ascending, deduped;
+    /// [`NO_PLANE`] entries are excluded.
+    pub fn planes(&self, name: &str) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .map
+            .lock()
+            .keys()
+            .filter(|(n, _, p)| n == name && *p != NO_PLANE)
+            .map(|&(_, _, p)| p)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The merge of every sketch recorded under `name`, across epochs and
+    /// planes.
     pub fn merged(&self, name: &str) -> Option<Sketch> {
         let map = self.map.lock();
         let mut out: Option<Sketch> = None;
-        for ((n, _), s) in map.iter() {
+        for ((n, _, _), s) in map.iter() {
             if n == name {
                 out.get_or_insert_with(Sketch::new).merge(s);
             }
@@ -188,7 +227,7 @@ impl SketchRegistry {
         out
     }
 
-    /// Number of `(name, epoch)` sketches held.
+    /// Number of `(name, epoch, plane)` sketches held.
     pub fn len(&self) -> usize {
         self.map.lock().len()
     }
@@ -199,15 +238,19 @@ impl SketchRegistry {
     }
 
     /// Snapshot as JSONL: one `{"type":"sketch","name":...,"epoch":...}`
-    /// object per line, sorted by `(name, epoch)` (byte-stable across
-    /// identical runs).
+    /// object per line, sorted by `(name, epoch, plane)` (byte-stable
+    /// across identical runs). Plane-scoped sketches additionally carry a
+    /// `plane` field; unplaned ones stay format-identical to before.
     pub fn to_jsonl(&self) -> String {
         let map = self.map.lock();
         let mut out = String::new();
-        for ((name, epoch), s) in map.iter() {
+        for ((name, epoch, plane), s) in map.iter() {
             let mut fields = s.to_json_fields();
             fields.push(("name", Json::str(name.clone())));
             fields.push(("epoch", Json::from(*epoch)));
+            if *plane != NO_PLANE {
+                fields.push(("plane", Json::from(u64::from(*plane))));
+            }
             out.push_str(&Json::obj(fields).to_string());
             out.push('\n');
         }
@@ -267,6 +310,29 @@ mod tests {
                 u.quantile(q).unwrap().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn registry_separates_planes() {
+        let r = SketchRegistry::new();
+        r.record("flow.completion_us", 1, 10.0);
+        r.record_plane("flow.completion_us", 1, 0, 100.0);
+        r.record_plane("flow.completion_us", 1, 1, 200.0);
+        r.record_plane("flow.completion_us", 1, 1, 300.0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get("flow.completion_us", 1).unwrap().count(), 1);
+        assert_eq!(r.get_plane("flow.completion_us", 1, 1).unwrap().count(), 2);
+        assert_eq!(r.planes("flow.completion_us"), vec![0, 1]);
+        // Merged folds every plane plus the unplaned stream.
+        assert_eq!(r.merged("flow.completion_us").unwrap().count(), 4);
+        // Export: plane-scoped lines carry a plane field, unplaned do not.
+        let jsonl = r.to_jsonl();
+        let mut planes = Vec::new();
+        for line in jsonl.lines() {
+            let j = crate::json::parse(line).unwrap();
+            planes.push(j.get("plane").and_then(Json::as_num).map(|p| p as u32));
+        }
+        assert_eq!(planes, vec![Some(0), Some(1), None]);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub struct Span {
     /// drop closes with a zero-length span at `start_us`.
     manual: bool,
     epoch: u64,
+    plane: Option<u32>,
     args: Vec<(String, Json)>,
 }
 
@@ -88,6 +89,7 @@ impl Span {
             start_us: 0.0,
             manual: false,
             epoch: 0,
+            plane: None,
             args: Vec::new(),
         }
     }
@@ -124,6 +126,7 @@ impl Span {
             start_us,
             manual,
             epoch: 0,
+            plane: None,
             args: Vec::new(),
         }
     }
@@ -216,6 +219,13 @@ impl Span {
         self.epoch = epoch;
     }
 
+    /// Stamps the fabric plane (NIC rail) this span's work belongs to.
+    /// Plane-scoped code paths call this so Perfetto traces separate
+    /// per-rail trees; unplaned spans carry no `plane` arg.
+    pub fn set_plane(&mut self, plane: u32) {
+        self.plane = Some(plane);
+    }
+
     /// Attaches a key/value argument (dropped when dead).
     pub fn arg(&mut self, key: &str, value: Json) {
         if self.sink.is_some() {
@@ -234,6 +244,9 @@ impl Span {
         }
         if self.epoch != 0 {
             args.push(("epoch".to_string(), Json::from(self.epoch)));
+        }
+        if let Some(plane) = self.plane {
+            args.push(("plane".to_string(), Json::from(u64::from(plane))));
         }
         sink.span(
             self.ctx.pid,

@@ -1,0 +1,420 @@
+//! Delta-encoded compact path store: first ISL hop per `(switch, LID)`.
+//!
+//! [`crate::pathdb::PathDb`] materializes every ISL hop vector, which is
+//! the right trade for a single 96-switch plane but grows as
+//! `pairs x avg_hops` — a K-plane 12x8 system or a 32x32 plane multiplies
+//! that again per shard. [`DeltaPathDb`] exploits that LFT forwarding is
+//! *destination-based*: the walk from switch `s` towards LID `l` continues
+//! exactly as the walk from its next switch, so paths are suffix-consistent
+//! and one stored hop per `(switch, LID)` pair reconstructs every full
+//! vector by chaining. That is one `u32` per pair against the CSR's
+//! `~(1 + avg_hops)` — roughly 3x smaller on a HyperX plane — at the cost
+//! of a topology lookup per reconstructed hop.
+//!
+//! Resolution is bit-identical to the CSR store by construction; the
+//! proptests in `crates/route/tests/planeset.rs` pin that over random
+//! fault sequences.
+
+use crate::lft::{DirLink, RouteError, Routes};
+use crate::lid::Lid;
+use crate::pathdb::{auto_threads, PathDb};
+use hxtopo::{Endpoint, NodeId, SwitchId, Topology};
+
+/// Sentinel "no stored hop" entry (`DirLink` payloads never use the full
+/// u32 range: link indices are shifted left by the direction bit).
+const NONE: u32 = u32::MAX;
+
+/// One destination LID's first-hop column (dense over switches, `NONE`
+/// where the walk never visits or delivery is local).
+type Column = Vec<u32>;
+
+/// Delta-encoded per-`(switch, destination LID)` path store: the first ISL
+/// hop of each pair, chained through the topology at resolve time.
+///
+/// Side tables (node attachment, LID ownership, terminal hops) match
+/// [`PathDb`], so `[node_up] ++ chain(switch, lid) ++ [dst_down]`
+/// reconstructs the identical full path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPathDb {
+    epoch: u64,
+    num_switches: usize,
+    lid_space: usize,
+    engine: &'static str,
+    /// First directed ISL hop, indexed `lid * num_switches + switch`;
+    /// `NONE` where no hop is stored.
+    first_hop: Vec<u32>,
+    /// Switch index per node.
+    node_sw: Vec<u32>,
+    /// Directed terminal hop leaving each node.
+    node_up: Vec<DirLink>,
+    /// Owner node index per LID (`u32::MAX` = unowned).
+    owner: Vec<u32>,
+    /// Directed terminal hop arriving at each LID's owner.
+    dst_down: Vec<DirLink>,
+}
+
+/// Extracts one destination LID's first-hop column by walking the LFT from
+/// every node-bearing source switch, validating arrival and link liveness
+/// exactly like the CSR build; intermediate switches on a walk get their
+/// hop recorded too, so chaining never dead-ends.
+fn build_column(
+    topo: &Topology,
+    routes: &Routes,
+    src_switches: &[SwitchId],
+    lid: Lid,
+    owner: NodeId,
+) -> Result<Column, RouteError> {
+    let (dsw, _) = topo.node_switch(owner);
+    let mut col = vec![NONE; topo.num_switches()];
+    for &start in src_switches {
+        let mut sw = start;
+        // Bound the walk by the switch count (a loop must revisit within
+        // it); already-recorded switches terminate early — their suffix
+        // was validated by a previous walk.
+        let mut walked = 0usize;
+        while sw != dsw && col[sw.idx()] == NONE {
+            let out = routes
+                .get(sw, lid)
+                .ok_or(RouteError::NoRoute { switch: sw, lid })?;
+            if !topo.is_active(out) {
+                return Err(RouteError::NoRoute { switch: sw, lid });
+            }
+            let dl = DirLink::leaving(topo, out, Endpoint::Switch(sw));
+            match dl.head(topo) {
+                // The owner attaches to exactly `dsw`, so terminal delivery
+                // from any other switch is a misroute.
+                Endpoint::Node(_) => return Err(RouteError::NoRoute { switch: sw, lid }),
+                Endpoint::Switch(next) => {
+                    col[sw.idx()] = dl.index() as u32;
+                    sw = next;
+                }
+            }
+            walked += 1;
+            if walked > topo.num_switches() {
+                return Err(RouteError::ForwardingLoop { lid, at: sw });
+            }
+        }
+    }
+    Ok(col)
+}
+
+impl DeltaPathDb {
+    /// Builds the delta store from installed forwarding state, walking the
+    /// LFT of every `(node-bearing switch, destination LID)` pair — the
+    /// same chunked `std::thread::scope` parallel build as
+    /// [`PathDb::build`] (`threads == 0` = [`auto_threads`]), byte-identical
+    /// regardless of thread count, lowest-failing-LID error.
+    pub fn build(
+        topo: &Topology,
+        routes: &Routes,
+        epoch: u64,
+        threads: usize,
+    ) -> Result<DeltaPathDb, RouteError> {
+        let lid_space = routes.lid_space();
+        let src_switches: Vec<SwitchId> = topo
+            .switches()
+            .filter(|&s| topo.attached_nodes(s).next().is_some())
+            .collect();
+        let lid_map = &routes.lid_map;
+        let threads = if threads == 0 {
+            auto_threads()
+        } else {
+            threads
+        }
+        .clamp(1, lid_space.max(1));
+
+        let mut cols: Vec<Option<Column>> = Vec::with_capacity(lid_space);
+        cols.resize_with(lid_space, || None);
+        if threads == 1 {
+            for (l, slot) in cols.iter_mut().enumerate() {
+                if let Some(owner) = lid_map.owner(l as Lid) {
+                    *slot = Some(build_column(topo, routes, &src_switches, l as Lid, owner)?);
+                }
+            }
+        } else {
+            let chunk = lid_space.div_ceil(threads);
+            let mut errs: Vec<Option<(Lid, RouteError)>> = vec![None; threads];
+            std::thread::scope(|scope| {
+                for (ci, (slots, err)) in cols.chunks_mut(chunk).zip(errs.iter_mut()).enumerate() {
+                    let base = (ci * chunk) as Lid;
+                    let src_switches = &src_switches;
+                    scope.spawn(move || {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let lid = base + off as Lid;
+                            let Some(owner) = lid_map.owner(lid) else {
+                                continue;
+                            };
+                            match build_column(topo, routes, src_switches, lid, owner) {
+                                Ok(c) => *slot = Some(c),
+                                Err(e) => {
+                                    *err = Some((lid, e));
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some((_, e)) = errs.into_iter().flatten().min_by_key(|&(l, _)| l) {
+                return Err(e);
+            }
+        }
+
+        let s = topo.num_switches();
+        let mut first_hop = vec![NONE; lid_space * s];
+        for (lid, col) in cols.iter().enumerate() {
+            if let Some(col) = col {
+                first_hop[lid * s..(lid + 1) * s].copy_from_slice(col);
+            }
+        }
+        Ok(DeltaPathDb {
+            epoch,
+            num_switches: s,
+            lid_space,
+            engine: routes.engine,
+            first_hop,
+            node_sw: Self::node_sw_table(topo),
+            node_up: Self::node_up_table(topo),
+            owner: Self::owner_table(routes, lid_space),
+            dst_down: Self::dst_down_table(topo, routes, lid_space),
+        })
+    }
+
+    /// Exact conversion from a CSR store: every stored hop vector's hops
+    /// are scattered to their tail switches. Resolution over the result is
+    /// bit-identical to the source (suffix consistency), without touching
+    /// the forwarding tables again.
+    pub fn from_pathdb(db: &PathDb, topo: &Topology) -> DeltaPathDb {
+        let s = topo.num_switches();
+        let lid_space = db.lid_space();
+        let mut first_hop = vec![NONE; lid_space * s];
+        for lid in 0..lid_space {
+            for sw in topo.switches() {
+                for &dl in db.isl_path(sw, lid as Lid) {
+                    let Endpoint::Switch(tail) = dl.tail(topo) else {
+                        continue;
+                    };
+                    first_hop[lid * s + tail.idx()] = dl.index() as u32;
+                }
+            }
+        }
+        let routes_owner: Vec<u32> = (0..lid_space)
+            .map(|l| db.lid_owner(l as Lid).map_or(u32::MAX, |n| n.0))
+            .collect();
+        let dst_down: Vec<DirLink> = (0..lid_space).map(|l| db.dst_down_hop(l as Lid)).collect();
+        DeltaPathDb {
+            epoch: db.epoch(),
+            num_switches: s,
+            lid_space,
+            engine: db.engine(),
+            first_hop,
+            node_sw: Self::node_sw_table(topo),
+            node_up: Self::node_up_table(topo),
+            owner: routes_owner,
+            dst_down,
+        }
+    }
+
+    fn node_sw_table(topo: &Topology) -> Vec<u32> {
+        topo.nodes().map(|n| topo.node_switch(n).0 .0).collect()
+    }
+
+    fn node_up_table(topo: &Topology) -> Vec<DirLink> {
+        topo.nodes()
+            .map(|n| {
+                let (_, up) = topo.node_switch(n);
+                DirLink::leaving(topo, up, Endpoint::Node(n))
+            })
+            .collect()
+    }
+
+    fn owner_table(routes: &Routes, lid_space: usize) -> Vec<u32> {
+        let mut owner = vec![u32::MAX; lid_space];
+        for (lid, o) in routes.lid_map.lids() {
+            owner[lid as usize] = o.0;
+        }
+        owner
+    }
+
+    fn dst_down_table(topo: &Topology, routes: &Routes, lid_space: usize) -> Vec<DirLink> {
+        let mut dst_down = vec![DirLink::from_index(0); lid_space];
+        for (lid, o) in routes.lid_map.lids() {
+            let (dsw, down) = topo.node_switch(o);
+            dst_down[lid as usize] = DirLink::leaving(topo, down, Endpoint::Switch(dsw));
+        }
+        dst_down
+    }
+
+    /// Sweep epoch that produced this store.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Routing engine that produced the underlying forwarding state.
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// LID-space size.
+    pub fn lid_space(&self) -> usize {
+        self.lid_space
+    }
+
+    /// The full node-to-node hop vector into a caller buffer (cleared
+    /// first), chaining stored first hops through `topo` — same contract
+    /// as [`PathDb::node_path_into`]: `false` for unowned LIDs (or a
+    /// chain dead-end), `true` with an empty buffer for self-sends.
+    pub fn node_path_into(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst_lid: Lid,
+        out: &mut Vec<DirLink>,
+    ) -> bool {
+        out.clear();
+        let Some(&o) = self.owner.get(dst_lid as usize) else {
+            return false;
+        };
+        if o == u32::MAX {
+            return false;
+        }
+        if o == src.0 {
+            return true;
+        }
+        let dsw = self.node_sw[o as usize];
+        let mut sw = self.node_sw[src.idx()];
+        out.push(self.node_up[src.idx()]);
+        let base = dst_lid as usize * self.num_switches;
+        let mut walked = 0usize;
+        while sw != dsw {
+            let raw = self.first_hop[base + sw as usize];
+            if raw == NONE {
+                out.clear();
+                return false;
+            }
+            let dl = DirLink::from_index(raw as usize);
+            out.push(dl);
+            let Endpoint::Switch(next) = dl.head(topo) else {
+                out.clear();
+                return false;
+            };
+            sw = next.0;
+            walked += 1;
+            if walked > self.num_switches {
+                out.clear();
+                return false;
+            }
+        }
+        out.push(self.dst_down[dst_lid as usize]);
+        true
+    }
+
+    /// Allocating convenience over [`DeltaPathDb::node_path_into`].
+    pub fn node_path(&self, topo: &Topology, src: NodeId, dst_lid: Lid) -> Option<Vec<DirLink>> {
+        let mut hops = Vec::new();
+        self.node_path_into(topo, src, dst_lid, &mut hops)
+            .then_some(hops)
+    }
+
+    /// Approximate heap footprint in bytes of the path payload plus side
+    /// tables — the number EXPERIMENTS.md compares against
+    /// [`PathDb::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        self.first_hop.len() * 4
+            + self.node_sw.len() * 4
+            + self.node_up.len() * 4
+            + self.owner.len() * 4
+            + self.dst_down.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{Dfsssp, MinHop, Parx, RoutingEngine};
+    use hxtopo::hyperx::HyperXConfig;
+
+    fn hx() -> Topology {
+        HyperXConfig::new(vec![4, 4], 2).build()
+    }
+
+    #[test]
+    fn delta_resolves_identically_to_csr() {
+        let t = hx();
+        for routes in [
+            MinHop::default().route(&t).unwrap(),
+            Dfsssp::default().route(&t).unwrap(),
+            Parx::default().route(&t).unwrap(),
+        ] {
+            let csr = PathDb::build(&t, &routes, 1, 0).unwrap();
+            let delta = DeltaPathDb::build(&t, &routes, 1, 0).unwrap();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for src in t.nodes() {
+                for lid in 0..routes.lid_space() as Lid {
+                    let ok_a = csr.node_path_into(src, lid, &mut a);
+                    let ok_b = delta.node_path_into(&t, src, lid, &mut b);
+                    assert_eq!(ok_a, ok_b, "{src} lid {lid}");
+                    assert_eq!(a, b, "{src} lid {lid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_pathdb_equals_direct_build() {
+        let t = hx();
+        let routes = Dfsssp::default().route(&t).unwrap();
+        let csr = PathDb::build(&t, &routes, 5, 0).unwrap();
+        let direct = DeltaPathDb::build(&t, &routes, 5, 0).unwrap();
+        let converted = DeltaPathDb::from_pathdb(&csr, &t);
+        // The conversion only sees hops some source actually uses, so its
+        // table is a subset of the direct build's; resolution must agree.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for src in t.nodes() {
+            for lid in 0..routes.lid_space() as Lid {
+                assert_eq!(
+                    direct.node_path_into(&t, src, lid, &mut a),
+                    converted.node_path_into(&t, src, lid, &mut b)
+                );
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(converted.epoch(), 5);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        let t = hx();
+        let routes = Dfsssp::default().route(&t).unwrap();
+        let seq = DeltaPathDb::build(&t, &routes, 1, 1).unwrap();
+        for threads in [2, 3, 7] {
+            assert_eq!(seq, DeltaPathDb::build(&t, &routes, 1, threads).unwrap());
+        }
+    }
+
+    #[test]
+    fn delta_is_measurably_smaller_than_csr() {
+        let t = HyperXConfig::new(vec![6, 4], 4).build();
+        let routes = Dfsssp::default().route(&t).unwrap();
+        let csr = PathDb::build(&t, &routes, 1, 0).unwrap();
+        let delta = DeltaPathDb::build(&t, &routes, 1, 0).unwrap();
+        assert!(
+            (delta.approx_bytes() as f64) < 0.7 * csr.approx_bytes() as f64,
+            "delta {} vs csr {}",
+            delta.approx_bytes(),
+            csr.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn build_detects_broken_tables() {
+        let t = hx();
+        let mut r = MinHop::default().route(&t).unwrap();
+        let (lid, _) = r.lid_map.lids().next().unwrap();
+        r.clear(hxtopo::SwitchId(15), lid);
+        assert!(DeltaPathDb::build(&t, &r, 1, 4).is_err());
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`demand`] — communication-demand profiles PARX ingests,
 //! * [`pathdb`] — the epoch-versioned, CSR-compressed path store every
 //!   consumer (simulator, MPI layer, verification) resolves paths from,
+//! * [`delta`] — the delta-encoded compact sibling (first ISL hop per
+//!   pair, chained at resolve time) for multi-plane scale,
+//! * [`plane`] — per-plane shard handle over `Arc<PathDb>` stores for
+//!   K-plane fabrics with independent live epochs,
 //! * [`verify`] — loop-freedom, reachability and deadlock-freedom checks.
 //!
 //! # Example
@@ -47,6 +51,7 @@
 //! ```
 
 pub mod cdg;
+pub mod delta;
 pub mod demand;
 pub mod dijkstra;
 pub mod engines;
@@ -54,9 +59,11 @@ pub mod lft;
 pub mod lid;
 pub mod opensm;
 pub mod pathdb;
+pub mod plane;
 pub mod table1;
 pub mod verify;
 
+pub use delta::DeltaPathDb;
 pub use demand::{Demand, NormalizedDemand};
 pub use dijkstra::{dijkstra_to_dest, DestTree, EdgeWeights};
 pub use engines::{Dfsssp, Ftree, MinHop, Parx, RoutingEngine, Sssp, UpDown};
@@ -64,5 +71,6 @@ pub use lft::{DirLink, Path, RouteError, Routes};
 pub use lid::{Lid, LidMap, LidPolicy};
 pub use opensm::{SubnetManager, SweepReport};
 pub use pathdb::PathDb;
+pub use plane::PlaneSet;
 pub use table1::{lid_choices, select_lid, SizeClass, DEFAULT_THRESHOLD};
 pub use verify::{verify_deadlock_free, verify_paths, PathStats};

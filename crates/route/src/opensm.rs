@@ -54,6 +54,10 @@ pub struct SubnetManager {
     pub incremental: bool,
     /// PathDb build parallelism (`0` = auto).
     pub threads: usize,
+    /// Plane id tagged onto every emitted span and sketch sample when the
+    /// manager runs one shard of a multi-plane system (`None` = the
+    /// single-plane default, no tag).
+    pub plane: Option<u32>,
 }
 
 impl SubnetManager {
@@ -68,6 +72,7 @@ impl SubnetManager {
             verify: true,
             incremental: true,
             threads: 0,
+            plane: None,
         }
     }
 
@@ -89,6 +94,7 @@ impl SubnetManager {
             verify: true,
             incremental: true,
             threads: 0,
+            plane: None,
         }
     }
 
@@ -193,6 +199,9 @@ impl SubnetManager {
     ) -> Result<SweepReport, RouteError> {
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "fail_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
+        if let Some(p) = self.plane {
+            sp.set_plane(p);
+        }
         let ctx = sp.ctx();
         if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;
@@ -266,6 +275,9 @@ impl SubnetManager {
         let obs = hxobs::sink();
         let t0 = std::time::Instant::now();
         let mut patch_sp = Span::under(parent, hxobs::track::OPENSM, 0, "pathdb_patch", "route");
+        if let Some(p) = self.plane {
+            patch_sp.set_plane(p);
+        }
         patch_sp.arg("op", hxobs::Json::from(op));
         patch_sp.arg("engine", hxobs::Json::from(self.engine.name()));
         patch_sp.arg("trees", hxobs::Json::from(affected.len()));
@@ -313,7 +325,10 @@ impl SubnetManager {
         let secs = t0.elapsed().as_secs_f64();
         patch_sp.set_epoch(self.epoch);
         patch_sp.end();
-        hxobs::sketch_record("reroute.latency_us", self.epoch, secs * 1e6);
+        match self.plane {
+            Some(p) => hxobs::sketch_record_plane("reroute.latency_us", self.epoch, p, secs * 1e6),
+            None => hxobs::sketch_record("reroute.latency_us", self.epoch, secs * 1e6),
+        }
         if let Some(o) = &obs {
             use hxobs::Recorder;
             o.tracer.name_process(hxobs::track::OPENSM, "opensm");
@@ -367,6 +382,9 @@ impl SubnetManager {
     ) -> Result<SweepReport, RouteError> {
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "recover_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
+        if let Some(p) = self.plane {
+            sp.set_plane(p);
+        }
         let ctx = sp.ctx();
         if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;

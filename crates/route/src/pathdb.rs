@@ -299,6 +299,31 @@ impl PathDb {
         self.isl_hops.len()
     }
 
+    /// Owner node of a LID (`None` = unowned).
+    pub fn lid_owner(&self, lid: Lid) -> Option<NodeId> {
+        let o = *self.owner.get(lid as usize)?;
+        (o != u32::MAX).then_some(NodeId(o))
+    }
+
+    /// Directed terminal hop arriving at a LID's owner (dummy for unowned
+    /// LIDs).
+    pub fn dst_down_hop(&self, lid: Lid) -> DirLink {
+        self.dst_down[lid as usize]
+    }
+
+    /// Approximate heap footprint in bytes of the path payload (CSR
+    /// offsets + hop vectors) plus side tables — comparable against
+    /// [`crate::delta::DeltaPathDb::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.isl_hops.len() * 4
+            + self.node_sw.len() * 4
+            + self.node_up.len() * 4
+            + self.nodes_at.len() * 4
+            + self.owner.len() * 4
+            + self.dst_down.len() * 4
+    }
+
     /// The ISL hop vector from a source switch towards a destination LID.
     /// Empty for same-switch delivery, unowned LIDs and node-less switches.
     #[inline]

@@ -1,0 +1,153 @@
+//! Sharded per-plane path storage for multi-plane (multi-rail) fabrics.
+//!
+//! A K-plane HyperX system runs K independent subnets: each plane has its
+//! own topology instance, forwarding state and epoch-versioned
+//! [`PathDb`]. [`PlaneSet`] is the cheap shared handle over those shards —
+//! one slot per plane, each holding the plane's current `Arc<PathDb>`
+//! behind its own lock, so a subnet sweep on plane 2 publishes a new epoch
+//! there without stalling resolutions on planes 0, 1 and 3. Campaign
+//! engines propagate epochs per shard ([`PlaneSet::install`]); consumers
+//! snapshot a shard ([`PlaneSet::shard`]) and resolve lock-free against
+//! the immutable store.
+
+use crate::lft::{DirLink, RouteError, Routes};
+use crate::lid::Lid;
+use crate::pathdb::PathDb;
+use hxtopo::{NodeId, Topology};
+use std::sync::{Arc, RwLock};
+
+/// Shared handle over per-plane [`PathDb`] shards. Clones are shallow:
+/// every clone sees the same live shards, so an `install` on one handle is
+/// visible to all.
+#[derive(Clone)]
+pub struct PlaneSet {
+    shards: Arc<Vec<RwLock<Arc<PathDb>>>>,
+}
+
+impl PlaneSet {
+    /// Wraps already-built per-plane stores, in plane order.
+    pub fn new(dbs: Vec<Arc<PathDb>>) -> PlaneSet {
+        PlaneSet {
+            shards: Arc::new(dbs.into_iter().map(RwLock::new).collect()),
+        }
+    }
+
+    /// Builds one shard per `(topology, routes)` plane at `epoch`, reusing
+    /// the chunked parallel [`PathDb::build`] per shard (`threads == 0` =
+    /// auto). Fails on the first unroutable plane, lowest plane index
+    /// first.
+    pub fn build(
+        planes: &[(&Topology, &Routes)],
+        epoch: u64,
+        threads: usize,
+    ) -> Result<PlaneSet, RouteError> {
+        let mut dbs = Vec::with_capacity(planes.len());
+        for (topo, routes) in planes {
+            dbs.push(Arc::new(PathDb::build(topo, routes, epoch, threads)?));
+        }
+        Ok(PlaneSet::new(dbs))
+    }
+
+    /// Number of planes.
+    pub fn num_planes(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of one plane's current store (cheap `Arc` clone);
+    /// resolution against the snapshot is lock-free and immune to
+    /// concurrent installs.
+    pub fn shard(&self, plane: usize) -> Arc<PathDb> {
+        self.shards[plane].read().unwrap().clone()
+    }
+
+    /// Publishes a new store for one plane (live epoch propagation after a
+    /// per-plane sweep or fail-in-place patch); other shards are
+    /// untouched.
+    pub fn install(&self, plane: usize, db: Arc<PathDb>) {
+        *self.shards[plane].write().unwrap() = db;
+    }
+
+    /// Current epoch of one plane's shard.
+    pub fn epoch(&self, plane: usize) -> u64 {
+        self.shards[plane].read().unwrap().epoch()
+    }
+
+    /// Current epochs of every shard, in plane order.
+    pub fn epochs(&self) -> Vec<u64> {
+        (0..self.num_planes()).map(|p| self.epoch(p)).collect()
+    }
+
+    /// Resolves a full node-to-node path on one plane into a caller
+    /// buffer — same contract as [`PathDb::node_path_into`].
+    pub fn node_path_into(
+        &self,
+        plane: usize,
+        src: NodeId,
+        dst_lid: Lid,
+        out: &mut Vec<DirLink>,
+    ) -> bool {
+        self.shards[plane]
+            .read()
+            .unwrap()
+            .node_path_into(src, dst_lid, out)
+    }
+
+    /// Summed approximate heap footprint of every shard's store, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        (0..self.num_planes())
+            .map(|p| self.shard(p).approx_bytes())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for PlaneSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlaneSet")
+            .field("planes", &self.num_planes())
+            .field("epochs", &self.epochs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{Dfsssp, MinHop, RoutingEngine};
+    use hxtopo::hyperx::HyperXConfig;
+
+    #[test]
+    fn shards_are_independent() {
+        let t = HyperXConfig::new(vec![3, 3], 2).build();
+        let r0 = MinHop::default().route(&t).unwrap();
+        let r1 = Dfsssp::default().route(&t).unwrap();
+        let set = PlaneSet::build(&[(&t, &r0), (&t, &r1)], 1, 0).unwrap();
+        assert_eq!(set.num_planes(), 2);
+        assert_eq!(set.epochs(), vec![1, 1]);
+
+        // Install a bumped store on plane 1 only.
+        let bumped = Arc::new(set.shard(1).patched(&t, &r1, &[]).unwrap());
+        set.install(1, bumped);
+        assert_eq!(set.epochs(), vec![1, 2]);
+
+        // Clones share the same live shards.
+        let clone = set.clone();
+        assert_eq!(clone.epoch(1), 2);
+
+        // Per-plane resolution matches the shard's own store.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for plane in 0..2 {
+            let db = set.shard(plane);
+            for src in t.nodes() {
+                for lid in 0..db.lid_space() as Lid {
+                    assert_eq!(
+                        set.node_path_into(plane, src, lid, &mut a),
+                        db.node_path_into(src, lid, &mut b)
+                    );
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        assert!(set.approx_bytes() > 0);
+    }
+}

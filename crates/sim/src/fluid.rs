@@ -61,6 +61,10 @@ pub struct FluidNet {
     /// Path-store epoch stamped onto re-solve tail-latency sketches (see
     /// [`FluidNet::set_obs_epoch`]); purely observational.
     obs_epoch: u64,
+    /// Plane id stamped onto re-solve tail-latency sketches when this net
+    /// simulates one plane of a multi-plane system (see
+    /// [`FluidNet::set_plane`]); purely observational.
+    obs_plane: Option<u32>,
 }
 
 impl Clone for FluidNet {
@@ -78,6 +82,7 @@ impl Clone for FluidNet {
             heap: self.heap.clone(),
             dirty: self.dirty,
             obs_epoch: self.obs_epoch,
+            obs_plane: self.obs_plane,
         }
     }
 }
@@ -109,6 +114,7 @@ impl FluidNet {
             heap: BinaryHeap::new(),
             dirty: false,
             obs_epoch: 0,
+            obs_plane: None,
         }
     }
 
@@ -118,6 +124,12 @@ impl FluidNet {
     /// completion order are unaffected.
     pub fn set_obs_epoch(&mut self, epoch: u64) {
         self.obs_epoch = epoch;
+    }
+
+    /// Tags every subsequent re-solve tail-latency sample with a plane id
+    /// (multi-plane campaigns run one net per plane); purely observational.
+    pub fn set_plane(&mut self, plane: u32) {
+        self.obs_plane = Some(plane);
     }
 
     /// The active congestion engine's label.
@@ -258,7 +270,12 @@ impl FluidNet {
         if let (true, Some(t0)) = (obs, t0) {
             let ns = t0.elapsed().as_nanos() as f64;
             hxobs::observe("solver.resolve_ns", ns);
-            hxobs::sketch_record("solver.resolve_us", self.obs_epoch, ns / 1e3);
+            match self.obs_plane {
+                Some(p) => {
+                    hxobs::sketch_record_plane("solver.resolve_us", self.obs_epoch, p, ns / 1e3)
+                }
+                None => hxobs::sketch_record("solver.resolve_us", self.obs_epoch, ns / 1e3),
+            }
         }
         for &id in rates.changed() {
             // The solver only re-solves live flows, so the slot exists.

@@ -153,12 +153,17 @@ pub struct HyperXConfig {
     /// Optional 2-D rack blocking `(bx, by)`: switches within the same
     /// `bx x by` block are considered rack-internal, their cables copper.
     pub rack_block: Option<(u32, u32)>,
+    /// Per-dimension link width `K_d` (Ahn et al.'s trimmed/widened HyperX):
+    /// every switch pair differing in dimension `d` is joined by `K_d`
+    /// parallel cables. All-ones (the default) is the plain HyperX.
+    pub link_width: Vec<u32>,
 }
 
 impl HyperXConfig {
     /// Fully-populated HyperX of the given shape.
     pub fn new(shape: Vec<u32>, terminals: u32) -> Self {
         let switches: usize = shape.iter().map(|&s| s as usize).product();
+        let dims = shape.len();
         HyperXConfig {
             name: format!(
                 "hyperx-{}-t{terminals}",
@@ -172,7 +177,108 @@ impl HyperXConfig {
             terminals,
             total_nodes: switches * terminals as usize,
             rack_block: None,
+            link_width: vec![1; dims],
         }
+    }
+
+    /// Sets per-dimension link widths (builder style). Panics if the length
+    /// does not match the shape's dimensionality or any width is zero.
+    pub fn with_link_width(mut self, link_width: Vec<u32>) -> Self {
+        assert_eq!(
+            link_width.len(),
+            self.shape.len(),
+            "link_width must have one entry per dimension"
+        );
+        assert!(
+            link_width.iter().all(|&k| k >= 1),
+            "link width must be >= 1"
+        );
+        self.link_width = link_width;
+        self
+    }
+
+    /// Parses a compact spec string in the SST-merlin style:
+    /// `"<S1>x<S2>[x...][:t<T>][:k<K1>x<K2>[x...]][:n<nodes>]"`.
+    ///
+    /// * the leading shape segment is mandatory (`12x8`),
+    /// * `t<T>` sets terminals per switch (default 1),
+    /// * `k<K1>x...` sets per-dimension link widths (default all 1); a
+    ///   single value is broadcast across all dimensions,
+    /// * `n<nodes>` caps the attached node count (default `T * prod(S)`).
+    ///
+    /// Example: `parse_spec("12x8:t7:k2x1")` — the paper's plane with the
+    /// first dimension's cables doubled.
+    pub fn parse_spec(spec: &str) -> Result<HyperXConfig, String> {
+        fn parse_dims(seg: &str, what: &str) -> Result<Vec<u32>, String> {
+            seg.split('x')
+                .map(|p| {
+                    p.parse::<u32>()
+                        .ok()
+                        .filter(|&v| v >= 1)
+                        .ok_or_else(|| format!("bad {what} component {p:?} in segment {seg:?}"))
+                })
+                .collect()
+        }
+        let mut segs = spec.split(':');
+        let shape_seg = segs.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+            format!("spec {spec:?}: missing shape segment (expected e.g. \"12x8\")")
+        })?;
+        let shape = parse_dims(shape_seg, "shape extent")?;
+        let mut terminals = 1u32;
+        let mut link_width: Option<Vec<u32>> = None;
+        let mut total_nodes: Option<usize> = None;
+        for seg in segs {
+            let (tag, rest) = seg.split_at(seg.len().min(1));
+            match tag {
+                "t" => {
+                    terminals = rest
+                        .parse::<u32>()
+                        .map_err(|_| format!("spec {spec:?}: bad terminal count {rest:?}"))?;
+                }
+                "k" => {
+                    let mut k = parse_dims(rest, "link width")?;
+                    if k.len() == 1 && shape.len() > 1 {
+                        k = vec![k[0]; shape.len()];
+                    }
+                    if k.len() != shape.len() {
+                        return Err(format!(
+                            "spec {spec:?}: {} link widths for {} dimensions",
+                            k.len(),
+                            shape.len()
+                        ));
+                    }
+                    link_width = Some(k);
+                }
+                "n" => {
+                    total_nodes = Some(
+                        rest.parse::<usize>()
+                            .map_err(|_| format!("spec {spec:?}: bad node count {rest:?}"))?,
+                    );
+                }
+                _ => return Err(format!("spec {spec:?}: unknown segment {seg:?}")),
+            }
+        }
+        let mut cfg = HyperXConfig::new(shape, terminals);
+        if let Some(k) = link_width {
+            let suffix = format!(
+                "-k{}",
+                k.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x")
+            );
+            cfg = cfg.with_link_width(k);
+            cfg.name.push_str(&suffix);
+        }
+        if let Some(n) = total_nodes {
+            let cap =
+                cfg.shape.iter().map(|&s| s as usize).product::<usize>() * cfg.terminals as usize;
+            if n > cap {
+                return Err(format!("spec {spec:?}: {n} nodes exceed capacity {cap}"));
+            }
+            cfg.total_nodes = n;
+        }
+        Ok(cfg)
     }
 
     /// The paper's 12x8 2-D HyperX with 7 nodes per switch, racked as 2x2
@@ -206,11 +312,20 @@ impl HyperXConfig {
             self.total_nodes <= num_switches * self.terminals as usize,
             "too many nodes"
         );
+        assert_eq!(
+            self.link_width.len(),
+            self.shape.len(),
+            "link_width must have one entry per dimension"
+        );
+        assert!(
+            self.link_width.iter().all(|&k| k >= 1),
+            "link width must be >= 1"
+        );
         let mut b = TopologyBuilder::new(self.name.clone(), num_switches);
 
         // Per-dimension full connectivity: for each ordered pair of switches
-        // differing in exactly one dimension with coord_a < coord_b, add one
-        // cable.
+        // differing in exactly one dimension with coord_a < coord_b, add
+        // `K_d` parallel cables.
         for s in 0..num_switches {
             let sa = SwitchId::from_idx(s);
             let ca = shape_meta.coord(sa);
@@ -223,7 +338,9 @@ impl HyperXConfig {
                         (Some(ra), Some(rb)) if ra == rb => LinkClass::Copper,
                         _ => LinkClass::Aoc,
                     };
-                    b.link_switches(sa, sb, class);
+                    for _ in 0..self.link_width[d] {
+                        b.link_switches(sa, sb, class);
+                    }
                 }
             }
         }
@@ -358,6 +475,63 @@ mod tests {
             let (s, _) = t.node_switch(n);
             assert_eq!(hx.node_switch(n), s);
         }
+    }
+
+    #[test]
+    fn widened_hyperx_doubles_dim0_cables() {
+        // 4x4 with K = (2, 1): dim0 lines double their cables, dim1 stays.
+        let t = HyperXConfig::new(vec![4, 4], 2)
+            .with_link_width(vec![2, 1])
+            .build();
+        assert_eq!(t.num_switches(), 16);
+        // dim0: 4 lines * C(4,2)=6 pairs * K=2 => 48; dim1: 24 * 1 => 24.
+        assert_eq!(t.num_active_isl(), 48 + 24);
+        assert!(t.is_connected());
+        // Degree: dim0 gives (4-1)*2=6 cables, dim1 gives 3 => 9 per switch.
+        for s in t.switches() {
+            assert_eq!(t.active_switch_neighbors(s).count(), 9);
+        }
+    }
+
+    #[test]
+    fn parse_spec_paper_plane() {
+        let cfg = HyperXConfig::parse_spec("12x8:t7:k2x1").unwrap();
+        assert_eq!(cfg.shape, vec![12, 8]);
+        assert_eq!(cfg.terminals, 7);
+        assert_eq!(cfg.link_width, vec![2, 1]);
+        assert_eq!(cfg.total_nodes, 672);
+        assert!(cfg.name.contains("12x8") && cfg.name.ends_with("-k2x1"));
+        let t = cfg.build();
+        // dim0: 8*66*2=1056, dim1: 12*28*1=336.
+        assert_eq!(t.num_active_isl(), 1056 + 336);
+    }
+
+    #[test]
+    fn parse_spec_defaults_broadcast_and_nodes() {
+        let cfg = HyperXConfig::parse_spec("6x4").unwrap();
+        assert_eq!(cfg.terminals, 1);
+        assert_eq!(cfg.link_width, vec![1, 1]);
+        assert_eq!(cfg.total_nodes, 24);
+
+        // A single k value is broadcast over every dimension.
+        let cfg = HyperXConfig::parse_spec("3x3x3:k2").unwrap();
+        assert_eq!(cfg.link_width, vec![2, 2, 2]);
+
+        // n caps the attached nodes.
+        let cfg = HyperXConfig::parse_spec("6x4:t2:n30").unwrap();
+        assert_eq!(cfg.total_nodes, 30);
+        assert_eq!(cfg.build().num_nodes(), 30);
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed() {
+        assert!(HyperXConfig::parse_spec("").is_err());
+        assert!(HyperXConfig::parse_spec("12x0").is_err());
+        assert!(HyperXConfig::parse_spec("12x8:t").is_err());
+        assert!(HyperXConfig::parse_spec("12x8:k2x1x3").is_err());
+        assert!(HyperXConfig::parse_spec("12x8:q9").is_err());
+        assert!(HyperXConfig::parse_spec("6x4:t2:n100").is_err());
+        assert!(HyperXConfig::parse_spec("12x8:k0x1").is_err());
     }
 
     #[test]

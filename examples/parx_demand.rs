@@ -63,7 +63,8 @@ fn main() {
         Placement::linear(&nodes, topo.num_nodes()),
         Pml::parx(),
         NetParams::qdr(),
-    );
+    )
+    .expect("routable fabric");
     use t2hx::sim::PathResolver;
     let small = fabric.resolve(0, 10, 64, 0);
     let large = fabric.resolve(0, 10, 1 << 20, 0);

@@ -15,8 +15,8 @@ fn main() {
     println!(
         "dual-plane system: {} nodes; HyperX needs {} VL(s) for DFSSSP, {} for PARX",
         sys.num_nodes(),
-        sys.hx_dfsssp.num_vls,
-        sys.hx_parx.num_vls
+        sys.hx_dfsssp().num_vls,
+        sys.hx_parx().num_vls
     );
 
     // Latency of a 4 KiB Allreduce at 16 ranks under each of the paper's

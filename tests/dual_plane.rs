@@ -17,10 +17,10 @@ fn mini() -> T2hx {
 fn all_routing_states_verify() {
     let sys = mini();
     for (topo, routes) in [
-        (&sys.fattree, &sys.ft_ftree),
-        (&sys.fattree, &sys.ft_sssp),
-        (&sys.hyperx, &sys.hx_dfsssp),
-        (&sys.hyperx, &sys.hx_parx),
+        (sys.fattree(), sys.ft_ftree()),
+        (sys.fattree(), sys.ft_sssp()),
+        (sys.hyperx(), sys.hx_dfsssp()),
+        (sys.hyperx(), sys.hx_parx()),
     ] {
         verify_paths(topo, routes).unwrap();
         let vls = verify_deadlock_free(topo, routes).unwrap();
@@ -42,7 +42,7 @@ fn des_and_round_model_agree_across_combos() {
 
         let mut sb = ScheduleBuilder::new(n);
         sb.allreduce(32 * 1024);
-        let des = Simulator::new(sys.topo(combo), &fabric, sys.params)
+        let des = Simulator::new(sys.topo(combo), &fabric, sys.params())
             .run(&sb.build())
             .makespan;
         let ratio = est / des;
@@ -120,7 +120,10 @@ fn parx_pml_switches_paths_at_threshold() {
 #[test]
 fn explicit_fabric_runs_des_collectives_on_both_planes() {
     let sys = mini();
-    for (topo, routes) in [(&sys.fattree, &sys.ft_ftree), (&sys.hyperx, &sys.hx_dfsssp)] {
+    for (topo, routes) in [
+        (sys.fattree(), sys.ft_ftree()),
+        (sys.hyperx(), sys.hx_dfsssp()),
+    ] {
         let nodes: Vec<NodeId> = topo.nodes().collect();
         let fabric = Fabric::new(
             topo,
@@ -128,7 +131,8 @@ fn explicit_fabric_runs_des_collectives_on_both_planes() {
             Placement::linear(&nodes, 32),
             Pml::Ob1,
             NetParams::qdr(),
-        );
+        )
+        .expect("routable fabric");
         let mut sb = ScheduleBuilder::new(32);
         sb.barrier();
         sb.bcast(3, 1 << 16);

@@ -38,8 +38,9 @@ fn fabric_of(s: &T2hx, combo: Combo, n: usize) -> Fabric<'_> {
         s.routes(combo),
         Placement::linear(&s.topo(combo).nodes().collect::<Vec<NodeId>>(), n),
         combo.pml(),
-        s.params,
+        s.params(),
     )
+    .expect("routable fabric")
 }
 
 fn linear_fabric(combo: Combo, n: usize) -> Fabric<'static> {
@@ -51,9 +52,9 @@ fn linear_fabric(combo: Combo, n: usize) -> Fabric<'static> {
 fn claim_bisection_bandwidths() {
     // Section 2.3: HyperX 57.1% bisection; Fat-Tree more than full.
     let s = sys();
-    let hx = TopologyProps::bisection_ratio(&s.hyperx);
+    let hx = TopologyProps::bisection_ratio(s.hyperx());
     assert!((0.50..0.60).contains(&hx), "HyperX bisection {hx}");
-    let ft = TopologyProps::bisection_ratio(&s.fattree);
+    let ft = TopologyProps::bisection_ratio(s.fattree());
     assert!(ft > 1.0, "Fat-Tree bisection {ft}");
 }
 
@@ -65,12 +66,12 @@ fn claim_vl_budgets() {
     // on tie-breaking).
     let s = sys();
     assert!(
-        s.hx_dfsssp.num_vls <= 3,
+        s.hx_dfsssp().num_vls <= 3,
         "DFSSSP {} VLs",
-        s.hx_dfsssp.num_vls
+        s.hx_dfsssp().num_vls
     );
-    assert!(s.hx_parx.num_vls <= 8, "PARX {} VLs", s.hx_parx.num_vls);
-    assert!(s.hx_parx.num_vls >= s.hx_dfsssp.num_vls);
+    assert!(s.hx_parx().num_vls <= 8, "PARX {} VLs", s.hx_parx().num_vls);
+    assert!(s.hx_parx().num_vls >= s.hx_dfsssp().num_vls);
 }
 
 #[test]
@@ -174,12 +175,12 @@ fn claim_vl_budgets_quick() {
     // Hardware VL budgets hold on the slice (measured: 2 VLs each).
     let s = quick_sys();
     assert!(
-        s.hx_dfsssp.num_vls <= 3,
+        s.hx_dfsssp().num_vls <= 3,
         "DFSSSP {} VLs",
-        s.hx_dfsssp.num_vls
+        s.hx_dfsssp().num_vls
     );
-    assert!(s.hx_parx.num_vls <= 8, "PARX {} VLs", s.hx_parx.num_vls);
-    assert!(s.hx_parx.num_vls >= s.hx_dfsssp.num_vls);
+    assert!(s.hx_parx().num_vls <= 8, "PARX {} VLs", s.hx_parx().num_vls);
+    assert!(s.hx_parx().num_vls >= s.hx_dfsssp().num_vls);
 }
 
 #[test]

@@ -29,8 +29,8 @@ fn profile_reroute_pipeline_keeps_correctness() {
     };
     let demand = RankProfile::of_workload(&w, n).bind(&placement, sys.num_nodes());
     sys.reroute_parx(demand).unwrap();
-    verify_paths(&sys.hyperx, &sys.hx_parx).unwrap();
-    verify_deadlock_free(&sys.hyperx, &sys.hx_parx).unwrap();
+    verify_paths(sys.hyperx(), sys.hx_parx()).unwrap();
+    verify_deadlock_free(sys.hyperx(), sys.hx_parx()).unwrap();
     let after = {
         let f = sys.fabric(Combo::HxParxClustered, n, 1);
         w.kernel_seconds(&f, n)
@@ -54,8 +54,9 @@ fn adaptive_never_loses_to_static_on_congested_patterns() {
             sys.routes(Combo::HxParxClustered),
             sys.placement(Combo::HxParxClustered, 32, 2),
             t2hx::mpi::Pml::Ob1,
-            sys.params,
-        );
+            sys.params(),
+        )
+        .expect("routable fabric");
         let static_t = t2hx::mpi::estimate(&static_f, &rp);
         assert!(
             adaptive <= static_t * 1.001,
@@ -85,8 +86,9 @@ fn dark_fiber_shrinks_under_parx() {
             sys.routes(combo),
             sys.placement(Combo::HxDfssspLinear, n, 1), // same dense placement
             t2hx::mpi::Pml::Ob1,
-            sys.params,
-        );
+            sys.params(),
+        )
+        .expect("routable fabric");
         let d = estimate_detailed(&f, &rp);
         LinkUsage::of(sys.topo(combo), &d.link_bytes)
     };
@@ -102,8 +104,8 @@ fn dark_fiber_shrinks_under_parx() {
 fn hyperx_cost_structure_beats_fattree_at_scale() {
     let sys = T2hx::build(224, false).unwrap();
     let m = CostModel::default();
-    let hx = BillOfMaterials::of(&sys.hyperx);
-    let ft = BillOfMaterials::of(&sys.fattree);
+    let hx = BillOfMaterials::of(sys.hyperx());
+    let ft = BillOfMaterials::of(sys.fattree());
     assert!(hx.price(&m) < ft.price(&m));
     assert!(hx.aoc < ft.aoc);
 }

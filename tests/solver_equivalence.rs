@@ -39,7 +39,7 @@ fn des_runs_are_bit_identical_across_backends_on_every_combo() {
     for combo in Combo::all() {
         let fabric = sys.fabric(combo, n, 1);
         let run = |kind: SolverKind| {
-            Simulator::new(sys.topo(combo), &fabric, sys.params.with_solver(kind)).run(&program)
+            Simulator::new(sys.topo(combo), &fabric, sys.params().with_solver(kind)).run(&program)
         };
         let exact = run(SolverKind::Exact);
         let incr = run(SolverKind::Incremental);
