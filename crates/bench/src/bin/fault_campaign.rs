@@ -13,9 +13,10 @@
 //! identical across `T2HX_SOLVER=exact|incremental`.
 //!
 //! `T2HX_QUICK=1` shrinks the planes (168 nodes) and the campaign length
-//! for CI smoke runs.
+//! for CI smoke runs. `T2HX_ENGINE` swaps the HyperX row's routing engine
+//! (default DFSSSP); the Fat-Tree rows keep their topology-native engines.
 
-use hxcore::{run_campaign, CampaignConfig};
+use hxcore::{engine_from_env_or, run_campaign, CampaignConfig};
 use hxroute::engines::{Dfsssp, Ftree, RoutingEngine, Sssp};
 use hxsim::SolverKind;
 use hxtopo::fattree::FatTreeConfig;
@@ -33,6 +34,7 @@ fn scale() -> (usize, CampaignConfig) {
         bytes: 4 << 20,
         max_down: if quick { 4 } else { 12 },
         solver: SolverKind::from_env(),
+        ..CampaignConfig::default()
     };
     (if quick { 168 } else { 672 }, cfg)
 }
@@ -92,10 +94,11 @@ fn main() {
         FatTreeConfig::tsubame2(total),
         Box::new(Sssp::default()),
     );
+    let hx_engine = engine_from_env_or(|| Box::new(Dfsssp::default()));
     study(
-        "HyperX DFSSSP",
+        &format!("HyperX {}", hx_engine.name().to_uppercase()),
         HyperXConfig::t2_hyperx(total).build(),
-        Box::new(Dfsssp::default()),
+        hx_engine,
     );
     println!("\ntpH/tpF: healthy/faulted throughput [GB/s]; incr: events patched in");
     println!("place; rr_us: mean wall-clock reroute cost per event; fingerprint is");

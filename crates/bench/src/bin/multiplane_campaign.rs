@@ -12,6 +12,7 @@
 //! across `T2HX_SOLVER=exact|incremental`.
 //!
 //! Knobs: `T2HX_PLANES` overrides the plane count (default 4, quick 2);
+//! `T2HX_ENGINE` swaps the per-plane routing engine (default DFSSSP);
 //! `T2HX_QUICK=1` shrinks to a 2-plane 6x4 system for CI smoke runs; the
 //! `--force-failover` flag migrates *every* flow on a faulted plane (not
 //! just those crossing the dead cable), guaranteeing the failover path
@@ -45,13 +46,16 @@ fn scale() -> (hxtopo::Topology, MultiPlaneConfig) {
             bytes: 4 << 20,
             max_down: if quick { 4 } else { 12 },
             solver: SolverKind::from_env(),
+            ..hxcore::CampaignConfig::default()
         },
     };
     (topo, cfg)
 }
 
+/// Per-plane engine: `T2HX_ENGINE` overrides the DFSSSP default on every
+/// rail (planes are homogeneous copies of the lattice).
 fn engine_for(_plane: usize) -> Box<dyn RoutingEngine> {
-    Box::new(Dfsssp::default())
+    hxcore::engine_from_env_or(|| Box::new(Dfsssp::default()))
 }
 
 fn study(cfg: &MultiPlaneConfig, topo: &hxtopo::Topology, rail: RailPolicy) {

@@ -16,6 +16,10 @@
 //!   the `multiplane_campaign` harness every `step` span carries a plane
 //!   id and at least one plane-tagged `failover` span exists (the rail
 //!   failover actually ran),
+//! * for the `routing_tournament` harness every fail/recover span names
+//!   its engine, at least four distinct engines repaired faults, and
+//!   FT-HyperX healed with its own incremental rule (`repair="engine"`) —
+//!   never by falling back to a full resweep,
 //! * the flight dump parses, its ring retained events, and it holds the
 //!   tail of the same story (a `step` span-end record).
 //!
@@ -46,6 +50,8 @@ struct SpanEv {
     parent: u64,
     kind: Option<String>,
     plane: Option<u64>,
+    engine: Option<String>,
+    repair: Option<String>,
 }
 
 fn load(path: &PathBuf) -> Json {
@@ -96,6 +102,14 @@ fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
                 .and_then(|a| a.get("plane"))
                 .and_then(Json::as_num)
                 .map(|v| v as u64),
+            engine: args
+                .and_then(|a| a.get("engine"))
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            repair: args
+                .and_then(|a| a.get("repair"))
+                .and_then(Json::as_str)
+                .map(str::to_string),
         };
         if !(sp.ts.is_finite() && sp.dur.is_finite() && sp.dur >= 0.0) {
             fail(&format!(
@@ -220,6 +234,43 @@ fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
         }
         if !failover {
             fail("no plane-tagged failover span in multi-plane trace (rail failover never ran)");
+        }
+    }
+
+    // The tournament must tell an engine-tagged story: several distinct
+    // engines repaired faults in one trace, and FT-HyperX healed at least
+    // one of its failures with its own incremental rule — never by falling
+    // back to a full resweep.
+    if harness == "routing_tournament" {
+        let mut engines = std::collections::BTreeSet::new();
+        let mut ft_engine_repair = false;
+        for (id, sp) in &spans {
+            if sp.name != "fail_link" && sp.name != "recover_link" {
+                continue;
+            }
+            let Some(e) = sp.engine.as_deref() else {
+                fail(&format!("{} span {id} carries no engine tag", sp.name));
+            };
+            engines.insert(e.to_string());
+            if e == "ft-hyperx" {
+                match sp.repair.as_deref() {
+                    Some("engine") => ft_engine_repair = true,
+                    Some("resweep") => fail(&format!(
+                        "ft-hyperx {} span {id} fell back to a full resweep",
+                        sp.name
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        if engines.len() < 4 {
+            fail(&format!(
+                "tournament trace shows only {} engine tags {engines:?} (need >= 4)",
+                engines.len()
+            ));
+        }
+        if !ft_engine_repair {
+            fail("no ft-hyperx repair with its own incremental rule (repair=\"engine\") in trace");
         }
     }
     spans

@@ -62,7 +62,7 @@ fn main() {
             }
             let (dsw, _) = topo.node_switch(dst);
             let minimal = dist[dsw.idx()];
-            let (sq, dq) = (hx.quadrant(ssw), hx.quadrant(dsw));
+            let (sq, dq) = (hx.quadrant(ssw).unwrap(), hx.quadrant(dsw).unwrap());
             for &x in lid_choices(sq, dq, SizeClass::Small) {
                 let p = routes.path_to(&topo, src, dst, x as u32).unwrap();
                 small_total += 1;

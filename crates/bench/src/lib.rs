@@ -101,6 +101,10 @@ pub const HARNESSES: &[Harness] = &[
         about: "K-plane churn campaign with NIC rail failover",
     },
     Harness {
+        name: "routing_tournament",
+        about: "routing-engine tournament under seeded fault churn",
+    },
+    Harness {
         name: "hxperf",
         about: "benchmark-trajectory point + perf-regression gate",
     },

@@ -19,7 +19,7 @@ use hxcore::{with_multi_stepper, with_stepper, CampaignConfig, MultiPlaneConfig}
 use hxload::ebb::{effective_bisection_bandwidth, EBB_BYTES};
 use hxload::mpigraph::mpigraph;
 use hxmpi::{Fabric, Placement, Pml, RailPolicy, ScheduleBuilder};
-use hxroute::engines::{Dfsssp, RoutingEngine};
+use hxroute::engines::{Dfsssp, FatPaths, FtHyperX, RoutingEngine};
 use hxroute::{DirLink, PathDb, PlaneSet, Routes, SubnetManager};
 use hxsim::{FluidNet, NetParams, Simulator, SolverKind};
 use hxtopo::hyperx::HyperXConfig;
@@ -83,6 +83,16 @@ pub const ALL: &[Kernel] = &[
         collect: rail_failover,
     },
     Kernel {
+        name: "ft_hyperx_repair",
+        about: "engine-owned FT-HyperX incremental fail_link repair of one ISL",
+        collect: ft_hyperx_repair,
+    },
+    Kernel {
+        name: "fatpaths_build",
+        about: "full 4-layer FatPaths sweep (masked trees + VL assignment)",
+        collect: fatpaths_build,
+    },
+    Kernel {
         name: "obs_disabled",
         about: "disabled-path overhead of span/counter/sketch call sites",
         collect: obs_disabled,
@@ -141,25 +151,35 @@ fn pathdb_build_multiplane(quick: bool, warmup: usize, samples: usize) -> (Strin
     (format!("{scale}xK{k}"), ns)
 }
 
-/// Swept state shared by the fail/recover kernels.
-fn swept(topo: &Topology) -> SubnetManager {
-    let mut sm = SubnetManager::new(topo.clone(), Box::new(Dfsssp::default()));
+/// Swept state shared by the fail/recover kernels, parameterized by the
+/// routing engine under measurement.
+fn swept_with(topo: &Topology, engine: Box<dyn RoutingEngine>) -> SubnetManager {
+    let mut sm = SubnetManager::new(topo.clone(), engine);
     sm.verify = false;
     sm.sweep().unwrap();
     sm
 }
 
-/// Clones a manager's state into a fresh incremental-mode manager.
-fn clone_sm(sm: &SubnetManager) -> SubnetManager {
+fn swept(topo: &Topology) -> SubnetManager {
+    swept_with(topo, Box::new(Dfsssp::default()))
+}
+
+/// Clones a manager's state into a fresh incremental-mode manager driving
+/// the given engine.
+fn clone_sm_with(sm: &SubnetManager, engine: Box<dyn RoutingEngine>) -> SubnetManager {
     let mut c = SubnetManager::with_state(
         sm.topo().clone(),
-        Box::new(Dfsssp::default()),
+        engine,
         sm.routes().unwrap().clone(),
         sm.pathdb().unwrap().clone(),
     );
     c.verify = false;
     c.incremental = true;
     c
+}
+
+fn clone_sm(sm: &SubnetManager) -> SubnetManager {
+    clone_sm_with(sm, Box::new(Dfsssp::default()))
 }
 
 fn fail_in_place(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
@@ -348,6 +368,38 @@ fn rail_failover(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64
     })
     .unwrap();
     (format!("{scale}xK{k}/f{}", cfg.base.flows), ns)
+}
+
+/// The engine-owned incremental repair path: FT-HyperX patches only the
+/// destination trees whose LFT entries used the dead cable, applying its
+/// own history-free routing rule — no generic load-aware rebuild, no
+/// resweep. The assert pins that the engine path (not a fallback) is what
+/// gets timed.
+fn ft_hyperx_repair(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let base = swept_with(&topo, Box::new(FtHyperX::default()));
+    let victim = victim_isl(&topo);
+    let ns = time_loop_batched(
+        warmup,
+        samples,
+        || clone_sm_with(&base, Box::new(FtHyperX::default())),
+        |mut sm| {
+            let r = sm.fail_link(victim).unwrap();
+            assert!(r.incremental, "FT-HyperX repair fell back to a resweep");
+        },
+    );
+    (scale.to_string(), ns)
+}
+
+/// The full FatPaths sweep: four masked destination-tree layers plus the
+/// shared deadlock-free VL assignment over all of them.
+fn fatpaths_build(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let engine = FatPaths::default();
+    let ns = time_loop(warmup, samples, || {
+        engine.route(&topo).unwrap();
+    });
+    (format!("{scale}/L{}", engine.layers), ns)
 }
 
 /// Instrumentation call sites per timed iteration of `obs_disabled`.

@@ -55,6 +55,10 @@ pub struct CampaignConfig {
     pub max_down: usize,
     /// Congestion engine backing the fluid network.
     pub solver: SolverKind,
+    /// Messaging layer selecting the destination LID per flow (`Ob1` for
+    /// single-path engines; `FlowHash` spreads flows across a multipath
+    /// engine's routing layers).
+    pub pml: Pml,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +72,7 @@ impl Default for CampaignConfig {
             bytes: 8 << 20,
             max_down: 8,
             solver: SolverKind::default(),
+            pml: Pml::Ob1,
         }
     }
 }
@@ -88,6 +93,14 @@ pub struct CampaignReport {
     pub healthy_latency: f64,
     /// Mean flow completion time under churn (seconds).
     pub faulted_latency: f64,
+    /// p50/p95/p99/p999 of simulated flow completion time (µs) with no
+    /// fault events; `None` when nothing completed. Sketch-derived and
+    /// excluded from [`CampaignReport::fingerprint`].
+    pub healthy_tail: Option<[f64; 4]>,
+    /// p50/p95/p99/p999 of simulated flow completion time (µs) under
+    /// churn — the tournament's tail-latency axis. Excluded from the
+    /// fingerprint.
+    pub faulted_tail: Option<[f64; 4]>,
     /// Flows completed in the healthy baseline.
     pub healthy_completions: u64,
     /// Flows completed under churn.
@@ -285,6 +298,7 @@ impl CampaignRun<'_> {
         let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
         step_sp.arg("kind", hxobs::Json::from("fail"));
         step_sp.arg("link", hxobs::Json::from(victim.0 as u64));
+        step_sp.arg("engine", hxobs::Json::from(self.sm.engine_name()));
         let step = step_sp.ctx();
         match self.sm.fail_link_spanned(victim, step) {
             Ok(r) => {
@@ -316,6 +330,7 @@ impl CampaignRun<'_> {
         let mut step_sp = Span::root(hxobs::track::RUNNER, 0, "step", "campaign");
         step_sp.arg("kind", hxobs::Json::from("recover"));
         step_sp.arg("link", hxobs::Json::from(l.0 as u64));
+        step_sp.arg("engine", hxobs::Json::from(self.sm.engine_name()));
         let step = step_sp.ctx();
         let r = self
             .sm
@@ -339,8 +354,9 @@ impl CampaignRun<'_> {
     }
 
     /// Runs the closed-loop workload; `churn` switches the fault process on.
-    /// Returns (throughput bytes/s, mean latency s, completions).
-    fn run(&mut self, churn: bool) -> (f64, f64, u64) {
+    /// Returns (throughput bytes/s, mean latency s, completions, completion
+    /// tail quantiles µs).
+    fn run(&mut self, churn: bool) -> (f64, f64, u64, Option<[f64; 4]>) {
         let cfg = self.cfg;
         let n = self.fabric.placement.num_ranks();
         // Independent streams: the workload draw sequence must not shift
@@ -367,6 +383,9 @@ impl CampaignRun<'_> {
         let mut bytes_done = 0u64;
         let mut completions = 0u64;
         let mut latency_sum = 0.0f64;
+        // Local tail sketch: per-run (the global registry keys by epoch,
+        // which collides when a tournament replays many engines).
+        let mut tail = hxobs::Sketch::new();
         let mut next_fail = churn.then(|| exp_sample(&mut fault_rng, cfg.mtbf));
         // Downed cables with their scheduled repair times, kept sorted by
         // insertion; the earliest repair is scanned out (the list stays
@@ -394,6 +413,7 @@ impl CampaignRun<'_> {
                     latency_sum += t - c.started;
                     // Per-epoch tail of simulated flow completion times.
                     hxobs::sketch_record("flow.completion_us", epoch, (t - c.started) * 1e6);
+                    tail.record((t - c.started) * 1e6);
                     net.remove(id);
                 }
                 // Closed loop: replacements keep the offered load constant.
@@ -450,7 +470,35 @@ impl CampaignRun<'_> {
         } else {
             f64::INFINITY
         };
-        (bytes_done as f64 / cfg.duration, latency, completions)
+        (
+            bytes_done as f64 / cfg.duration,
+            latency,
+            completions,
+            tail.tail(),
+        )
+    }
+}
+
+/// Resolves the campaign routing engine from `$T2HX_ENGINE` (see
+/// [`hxroute::engines::engine_from_env`]), falling back to `default` when
+/// the variable is unset. Harness binaries use this so one environment
+/// knob swaps the engine under every campaign, mirroring `$T2HX_SOLVER`.
+///
+/// # Panics
+///
+/// Panics when `$T2HX_ENGINE` names an unknown engine — a misspelled
+/// selection must not silently run the default.
+pub fn engine_from_env_or(
+    default: impl FnOnce() -> Box<dyn RoutingEngine>,
+) -> Box<dyn RoutingEngine> {
+    match std::env::var("T2HX_ENGINE") {
+        Ok(name) => hxroute::engine_by_name(&name).unwrap_or_else(|| {
+            panic!(
+                "unknown T2HX_ENGINE {name:?} (known: {:?})",
+                hxroute::ENGINE_NAMES
+            )
+        }),
+        Err(_) => default(),
     }
 }
 
@@ -473,7 +521,7 @@ pub fn run_campaign(
         &fab_topo,
         &fab_routes,
         Placement::linear(&nodes, n),
-        Pml::Ob1,
+        cfg.pml.clone(),
         NetParams::qdr().with_solver(cfg.solver),
         sm.pathdb().expect("swept").clone(),
     );
@@ -484,6 +532,8 @@ pub fn run_campaign(
         faulted_throughput: 0.0,
         healthy_latency: 0.0,
         faulted_latency: 0.0,
+        healthy_tail: None,
+        faulted_tail: None,
         healthy_completions: 0,
         faulted_completions: 0,
         failures: 0,
@@ -502,14 +552,16 @@ pub fn run_campaign(
             cfg,
             report: &mut report,
         };
-        let (tp, lat, done) = run.run(false);
+        let (tp, lat, done, tail) = run.run(false);
         run.report.healthy_throughput = tp;
         run.report.healthy_latency = lat;
         run.report.healthy_completions = done;
-        let (tp, lat, done) = run.run(true);
+        run.report.healthy_tail = tail;
+        let (tp, lat, done, tail) = run.run(true);
         run.report.faulted_throughput = tp;
         run.report.faulted_latency = lat;
         run.report.faulted_completions = done;
+        run.report.faulted_tail = tail;
     }
     if let Some(o) = hxobs::sink() {
         use hxobs::Recorder;
@@ -639,7 +691,7 @@ pub fn with_stepper<R>(
         &fab_topo,
         &fab_routes,
         Placement::linear(&nodes, n),
-        Pml::Ob1,
+        cfg.pml.clone(),
         NetParams::qdr().with_solver(cfg.solver),
         sm.pathdb().expect("swept").clone(),
     );
@@ -687,6 +739,7 @@ mod tests {
             bytes: 1 << 20,
             max_down: 4,
             solver,
+            pml: Pml::Ob1,
         }
     }
 

@@ -52,7 +52,8 @@ pub mod report;
 pub mod system;
 
 pub use campaign::{
-    run_campaign, with_stepper, CampaignConfig, CampaignReport, CampaignStepper, StepReport,
+    engine_from_env_or, run_campaign, with_stepper, CampaignConfig, CampaignReport,
+    CampaignStepper, StepReport,
 };
 pub use capacity::run_capacity_combo;
 pub use combos::Combo;

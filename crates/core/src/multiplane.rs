@@ -752,6 +752,7 @@ mod tests {
                 bytes: 1 << 20,
                 max_down: 4,
                 solver: SolverKind::Exact,
+                ..CampaignConfig::default()
             },
         }
     }

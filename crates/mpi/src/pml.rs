@@ -26,6 +26,12 @@ pub enum Pml {
         /// Small/large threshold in bytes (paper default: 512).
         threshold: u64,
     },
+    /// FatPaths-style layer selection: a deterministic flow hash over
+    /// `(src, dst, seq)` spreads flows across the `2^lmc` routing layers
+    /// (one layer per LID offset; see `hxroute::engines::FatPaths`).
+    /// Hashing at the flow level keeps every flow on one layer — no
+    /// packet-level reordering — while neighboring flows diverge.
+    FlowHash,
 }
 
 impl Pml {
@@ -42,12 +48,14 @@ impl Pml {
             Pml::Ob1 => "ob1",
             Pml::BfoRoundRobin => "bfo-rr",
             Pml::BfoParx { .. } => "bfo-parx",
+            Pml::FlowHash => "flow-hash",
         }
     }
 
-    /// Whether this PML pays the bfo software penalty.
+    /// Whether this PML pays the bfo software penalty. Flow hashing is one
+    /// multiply-and-mask in the hot path — ob1-class overhead, not bfo.
     pub fn is_bfo(&self) -> bool {
-        !matches!(self, Pml::Ob1)
+        !matches!(self, Pml::Ob1 | Pml::FlowHash)
     }
 
     /// Selects the destination LID index for a message.
@@ -67,14 +75,31 @@ impl Pml {
         match self {
             Pml::Ob1 => 0,
             Pml::BfoRoundRobin => (seq % per_node as u64) as u32,
+            Pml::FlowHash => {
+                // FNV-1a over the flow identity; `seq` is folded in so
+                // repeated flows between one pair still sample all layers
+                // across a campaign, like FatPaths' per-flowlet rehash.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for v in [src.0 as u64, dst.0 as u64, seq] {
+                    for b in v.to_le_bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+                (h % per_node as u64) as u32
+            }
             Pml::BfoParx { threshold } => {
                 let hx: &HyperXShape = topo
                     .meta
                     .as_hyperx()
                     .expect("bfo-parx requires a HyperX fabric");
                 debug_assert_eq!(per_node, 4, "PARX uses LMC=2");
-                let sq = hx.quadrant(topo.node_switch(src).0);
-                let dq = hx.quadrant(topo.node_switch(dst).0);
+                let sq = hx
+                    .quadrant(topo.node_switch(src).0)
+                    .expect("bfo-parx requires the 2-D even-extent quadrant layout");
+                let dq = hx
+                    .quadrant(topo.node_switch(dst).0)
+                    .expect("bfo-parx requires the 2-D even-extent quadrant layout");
                 let size = SizeClass::of(bytes, *threshold);
                 select_lid(sq, dq, size, seq) as u32
             }
@@ -124,8 +149,8 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                let sq = hx.quadrant(t.node_switch(src).0);
-                let dq = hx.quadrant(t.node_switch(dst).0);
+                let sq = hx.quadrant(t.node_switch(src).0).unwrap();
+                let dq = hx.quadrant(t.node_switch(dst).0).unwrap();
                 for (bytes, class) in [(64u64, SizeClass::Small), (1 << 16, SizeClass::Large)] {
                     for seq in 0..3 {
                         let x = pml.select_lid_index(&t, &r, src, dst, bytes, seq);
@@ -146,8 +171,8 @@ mod tests {
         let r = Parx::default().route(&t).unwrap();
         let pml = Pml::parx();
         let (src, dst) = (NodeId(0), NodeId(1));
-        let sq = hx.quadrant(t.node_switch(src).0);
-        let dq = hx.quadrant(t.node_switch(dst).0);
+        let sq = hx.quadrant(t.node_switch(src).0).unwrap();
+        let dq = hx.quadrant(t.node_switch(dst).0).unwrap();
         let small = pml.select_lid_index(&t, &r, src, dst, 511, 0);
         let large = pml.select_lid_index(&t, &r, src, dst, 512, 0);
         assert!(lid_choices(sq, dq, SizeClass::Small).contains(&(small as u8)));
@@ -160,5 +185,31 @@ mod tests {
         assert!(!Pml::Ob1.is_bfo());
         assert!(Pml::parx().is_bfo());
         assert!(Pml::BfoRoundRobin.is_bfo());
+        assert_eq!(Pml::FlowHash.name(), "flow-hash");
+        assert!(!Pml::FlowHash.is_bfo());
+    }
+
+    #[test]
+    fn flow_hash_is_deterministic_and_spreads_layers() {
+        let t = HyperXConfig::new(vec![4, 4], 2).build();
+        let r = hxroute::FatPaths::default().route(&t).unwrap();
+        let pml = Pml::FlowHash;
+        let mut used = [false; 4];
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                if src == dst {
+                    continue;
+                }
+                for seq in 0..4 {
+                    let a = pml.select_lid_index(&t, &r, src, dst, 1 << 20, seq);
+                    let b = pml.select_lid_index(&t, &r, src, dst, 64, seq);
+                    // Flow identity, not message size, picks the layer.
+                    assert_eq!(a, b);
+                    assert!(a < 4);
+                    used[a as usize] = true;
+                }
+            }
+        }
+        assert_eq!(used, [true; 4], "some layer never selected");
     }
 }

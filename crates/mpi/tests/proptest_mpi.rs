@@ -147,8 +147,8 @@ proptest! {
         let hx = topo.meta.as_hyperx().unwrap().clone();
         let pml = Pml::parx();
         let x = pml.select_lid_index(&topo, &routes, NodeId(a), NodeId(b), bytes, seq);
-        let sq = hx.quadrant(topo.node_switch(NodeId(a)).0);
-        let dq = hx.quadrant(topo.node_switch(NodeId(b)).0);
+        let sq = hx.quadrant(topo.node_switch(NodeId(a)).0).unwrap();
+        let dq = hx.quadrant(topo.node_switch(NodeId(b)).0).unwrap();
         let class = hxroute::SizeClass::of(bytes, hxroute::DEFAULT_THRESHOLD);
         prop_assert!(hxroute::lid_choices(sq, dq, class).contains(&(x as u8)));
     }

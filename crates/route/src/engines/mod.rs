@@ -10,8 +10,21 @@
 //! | [`MinHop`] | unbalanced hop-minimal baseline for ablations |
 //! | [`Lash`] | LASH — cited deadlock-free alternative (unbalanced + VLs) |
 //! | [`ParxNd`] | extension: PARX generalized to n-dimensional HyperX |
+//! | [`FtHyperX`] | fault-tolerant HyperX routing (Camarero/Cano, arXiv 2404.04315) |
+//! | [`FatPaths`] | FatPaths layered multipath (Besta et al.), one layer per LID offset |
+//!
+//! Beyond the static sweep every engine provides, two opt-in capability
+//! traits refine fault handling and multipath (DESIGN.md §13):
+//! [`IncrementalRepair`] lets an engine own its `fail_link`/`recover_link`
+//! patches (the subnet manager's load-aware Dijkstra repair is the generic
+//! fallback), and [`Multipath`] exposes per-layer routing over the LMC LID
+//! block. [`engine_by_name`] / [`engine_from_env`] resolve the
+//! `$T2HX_ENGINE` knob the way `SolverKind::from_env` resolves
+//! `$T2HX_SOLVER`.
 
 mod dfsssp;
+mod fatpaths;
+mod ft_hyperx;
 mod ftree;
 mod lash;
 mod minhop;
@@ -21,6 +34,8 @@ mod sssp;
 mod updown;
 
 pub use dfsssp::Dfsssp;
+pub use fatpaths::{mean_first_hop_diversity, FatPaths};
+pub use ft_hyperx::FtHyperX;
 pub use ftree::Ftree;
 pub use lash::Lash;
 pub use minhop::MinHop;
@@ -30,13 +45,16 @@ pub use sssp::Sssp;
 pub use updown::UpDown;
 
 use crate::cdg::{chain_of, Cdg};
+use crate::demand::Demand;
 use crate::dijkstra::{DestTree, EdgeWeights};
 use crate::lft::{DirLink, RouteError, Routes};
 use crate::lid::Lid;
-use hxtopo::{Endpoint, NodeId, SwitchId, Topology};
+use hxtopo::{Endpoint, LinkId, NodeId, SwitchId, Topology};
 
 /// A static routing engine: consumes a topology, produces complete
-/// forwarding state.
+/// forwarding state. Fault handling and multipath are opt-in capabilities
+/// discovered through the accessor methods, so the subnet manager can
+/// dispatch on a `Box<dyn RoutingEngine>` without downcasts.
 pub trait RoutingEngine {
     /// Engine name as it appears in reports (mirrors the paper's labels).
     fn name(&self) -> &'static str;
@@ -44,6 +62,135 @@ pub trait RoutingEngine {
     /// Computes forwarding tables (and, for deadlock-free engines, the
     /// service-level table).
     fn route(&self, topo: &Topology) -> Result<Routes, RouteError>;
+
+    /// The engine-owned incremental-repair capability, when implemented.
+    /// `None` (the default) sends cable churn to the subnet manager's
+    /// generic load-aware Dijkstra patch.
+    fn incremental(&self) -> Option<&dyn IncrementalRepair> {
+        None
+    }
+
+    /// The per-layer multipath capability, when implemented. `None` (the
+    /// default) means the engine's LID block carries no layer structure.
+    fn multipath(&self) -> Option<&dyn Multipath> {
+        None
+    }
+
+    /// A demand-aware variant of this engine for the SAR/PARX reroute
+    /// trigger, or `None` when the engine cannot ingest a communication
+    /// profile (the subnet manager then reports the error instead of
+    /// silently reboxing a different engine).
+    fn with_demand(&self, demand: Demand) -> Option<Box<dyn RoutingEngine>> {
+        let _ = demand;
+        None
+    }
+}
+
+/// A sparse LFT patch an [`IncrementalRepair`] engine hands back from
+/// `on_fail`/`on_recover`: the entry rewrites to apply plus the LID trees
+/// whose paths they change (what the `PathDb` must re-extract).
+#[derive(Debug, Clone, Default)]
+pub struct LftDelta {
+    /// `(switch, lid, new out-link)` rewrites; `None` clears the entry
+    /// (the destination became unreachable from that switch).
+    pub entries: Vec<(SwitchId, Lid, Option<LinkId>)>,
+    /// Destination LIDs whose trees the entries touch, deduplicated.
+    pub touched: Vec<Lid>,
+}
+
+impl LftDelta {
+    /// Whether the delta rewrites anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.touched.is_empty()
+    }
+
+    /// Applies every entry rewrite to the forwarding state.
+    pub fn apply(&self, routes: &mut Routes) {
+        for &(s, lid, out) in &self.entries {
+            match out {
+                Some(link) => routes.set(s, lid, link),
+                None => routes.clear(s, lid),
+            }
+        }
+    }
+}
+
+/// Engine-owned incremental repair: the engine patches its *own* routing
+/// function around a failed or restored cable, so the repaired LFTs stay
+/// bit-identical to a from-scratch resweep (which the generic load-aware
+/// fallback cannot promise). `topo` already reflects the event: the cable
+/// is deactivated before `on_fail` and reactivated before `on_recover`.
+pub trait IncrementalRepair {
+    /// Patch around the (already deactivated) cable `l`. Errs when the
+    /// fabric became unroutable — the manager then falls back and rolls
+    /// the event back.
+    fn on_fail(&self, topo: &Topology, routes: &Routes, l: LinkId) -> Result<LftDelta, RouteError>;
+
+    /// Patch to exploit the (already reactivated) cable `l`.
+    fn on_recover(
+        &self,
+        topo: &Topology,
+        routes: &Routes,
+        l: LinkId,
+    ) -> Result<LftDelta, RouteError>;
+}
+
+/// Per-layer multipath over the LMC block: layer `x` of `layers()` routes
+/// destination LID `base + x`, so a PML picking LID offsets (round-robin,
+/// flow hash) spreads flows across the layers.
+pub trait Multipath {
+    /// Number of layers, one per LID offset (`2^lmc`).
+    fn layers(&self) -> u8;
+
+    /// Routes every destination's layer-`layer` LID into `routes`, which
+    /// must come from this engine's LID layout.
+    fn route_layer(
+        &self,
+        topo: &Topology,
+        routes: &mut Routes,
+        layer: u8,
+    ) -> Result<(), RouteError>;
+}
+
+/// Engine names [`engine_by_name`] resolves, in tournament order: the
+/// paper's HyperX contenders first, then the baseline field.
+pub const ENGINE_NAMES: &[&str] = &[
+    "parx",
+    "dfsssp",
+    "ft-hyperx",
+    "fatpaths",
+    "sssp",
+    "minhop",
+    "updown",
+    "lash",
+];
+
+/// Resolves an engine by its report label (case-insensitive). Covers every
+/// engine in [`ENGINE_NAMES`] plus the topology-specific `ftree` and
+/// `parx-nd`.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn RoutingEngine>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "parx" => Box::new(Parx::default()),
+        "parx-nd" => Box::new(ParxNd::default()),
+        "dfsssp" => Box::new(Dfsssp::default()),
+        "ft-hyperx" | "fthyperx" => Box::new(FtHyperX::default()),
+        "fatpaths" => Box::new(FatPaths::default()),
+        "sssp" => Box::new(Sssp::default()),
+        "minhop" => Box::new(MinHop::default()),
+        "updown" => Box::new(UpDown::default()),
+        "lash" => Box::new(Lash::default()),
+        "ftree" => Box::new(Ftree),
+        _ => return None,
+    })
+}
+
+/// The `$T2HX_ENGINE` knob, mirroring `SolverKind::from_env` /
+/// `$T2HX_SOLVER`: `None` when unset or unrecognized (callers keep their
+/// default engine).
+pub fn engine_from_env() -> Option<Box<dyn RoutingEngine>> {
+    std::env::var("T2HX_ENGINE")
+        .ok()
+        .and_then(|v| engine_by_name(&v))
 }
 
 /// Installs one destination tree into the LFTs: every reachable switch

@@ -94,6 +94,10 @@ impl RoutingEngine for Parx {
         "parx"
     }
 
+    fn with_demand(&self, demand: Demand) -> Option<Box<dyn RoutingEngine>> {
+        Some(Box::new(Parx::with_demand(demand)))
+    }
+
     fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
         let masks = Self::build_masks(topo)?;
         let lid_map = LidMap::new(topo, 2, LidPolicy::QuadrantBlocks);
@@ -240,7 +244,7 @@ mod tests {
                 if ssw == dsw {
                     continue;
                 }
-                let (sq, dq) = (hx.quadrant(ssw), hx.quadrant(dsw));
+                let (sq, dq) = (hx.quadrant(ssw).unwrap(), hx.quadrant(dsw).unwrap());
                 let minimal = min_dist[dsw.idx()];
                 for &x in lid_choices(sq, dq, SizeClass::Small) {
                     let p = r.path_to(&t, src, dst, x as u32).unwrap();
@@ -349,7 +353,7 @@ mod tests {
         let r = Parx::default().route(&t).unwrap();
         let hx = t.meta.as_hyperx().unwrap().clone();
         for n in t.nodes() {
-            let q = hx.quadrant(t.node_switch(n).0);
+            let q = hx.quadrant(t.node_switch(n).0).unwrap();
             assert_eq!(r.lid_map.quadrant_of_lid(r.lid_map.base(n)), Some(q));
         }
         let _ = SwitchId(0);

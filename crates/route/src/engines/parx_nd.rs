@@ -146,6 +146,13 @@ impl RoutingEngine for ParxNd {
         "parx-nd"
     }
 
+    fn with_demand(&self, demand: Demand) -> Option<Box<dyn RoutingEngine>> {
+        Some(Box::new(ParxNd {
+            demand: Some(demand),
+            ..self.clone()
+        }))
+    }
+
     fn route(&self, topo: &Topology) -> Result<Routes, RouteError> {
         let masks = Self::build_masks(topo)?;
         let rules = masks.len() as u32;
@@ -245,7 +252,7 @@ mod tests {
         for a in topo.switches() {
             for b in topo.switches() {
                 let (ca, cb) = (hx.coord(a), hx.coord(b));
-                let (qa, qb) = (hx.quadrant(a), hx.quadrant(b));
+                let (qa, qb) = (hx.quadrant(a).unwrap(), hx.quadrant(b).unwrap());
                 for size in [SizeClass::Small, SizeClass::Large] {
                     let nd = lid_choices_nd(&hx.shape, &ca, &cb, size);
                     for &x in lid_choices(qa, qb, size) {

@@ -127,6 +127,9 @@ pub enum RouteError {
         /// Hardware limit.
         available: u8,
     },
+    /// The demand-aware reroute trigger fired but the active engine has
+    /// no demand-aware variant (`RoutingEngine::with_demand` is `None`).
+    NoDemandVariant(&'static str),
 }
 
 impl std::fmt::Display for RouteError {
@@ -144,6 +147,9 @@ impl std::fmt::Display for RouteError {
                 required,
                 available,
             } => write!(f, "needs {required} VLs, hardware has {available}"),
+            RouteError::NoDemandVariant(engine) => {
+                write!(f, "engine {engine} has no demand-aware variant")
+            }
         }
     }
 }
@@ -208,6 +214,17 @@ impl Routes {
     /// switch LFTs — the fabric-wide routing-table footprint.
     pub fn num_lft_entries(&self) -> usize {
         self.lft.iter().filter(|&&v| v != NO_ROUTE).count()
+    }
+
+    /// Whether two routing states install bit-identical forwarding
+    /// tables: same LID layout and every LFT entry equal (service levels
+    /// excluded — incremental patches keep their old SLs by design).
+    /// This is the equality the `IncrementalRepair` proptests pin
+    /// between an engine-owned patch and a from-scratch resweep.
+    pub fn lft_eq(&self, other: &Routes) -> bool {
+        self.lid_space == other.lid_space
+            && self.num_switches == other.num_switches
+            && self.lft == other.lft
     }
 
     /// Installs a service-level table sized `num_switches * lid_space`.

@@ -66,7 +66,10 @@ pub mod verify;
 pub use delta::DeltaPathDb;
 pub use demand::{Demand, NormalizedDemand};
 pub use dijkstra::{dijkstra_to_dest, DestTree, EdgeWeights};
-pub use engines::{Dfsssp, Ftree, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+pub use engines::{
+    engine_by_name, engine_from_env, Dfsssp, FatPaths, FtHyperX, Ftree, IncrementalRepair, Lash,
+    LftDelta, MinHop, Multipath, Parx, RoutingEngine, Sssp, UpDown, ENGINE_NAMES,
+};
 pub use lft::{DirLink, Path, RouteError, Routes};
 pub use lid::{Lid, LidMap, LidPolicy};
 pub use opensm::{SubnetManager, SweepReport};

@@ -58,7 +58,10 @@ impl LidMap {
                     .expect("QuadrantBlocks requires a HyperX topology");
                 let mut next = [0u32; 4]; // next free slot per quadrant
                 for node in topo.nodes() {
-                    let q = hx.quadrant(topo.node_switch(node).0).index();
+                    let q = hx
+                        .quadrant(topo.node_switch(node).0)
+                        .expect("QuadrantBlocks requires a 2-D even-extent HyperX")
+                        .index();
                     let lid =
                         q as u32 * 1000 + next[q] * per_node + if q == 0 { per_node } else { 0 };
                     // Quadrant 0 starts at LID per_node to keep LID 0 reserved.
@@ -179,7 +182,7 @@ mod tests {
         let hxm = t.meta.as_hyperx().unwrap().clone();
         let m = LidMap::new(&t, 2, LidPolicy::QuadrantBlocks);
         for node in t.nodes() {
-            let q_topo = hxm.quadrant(t.node_switch(node).0);
+            let q_topo = hxm.quadrant(t.node_switch(node).0).unwrap();
             for x in 0..4 {
                 let lid = m.lid(node, x);
                 assert_eq!(m.quadrant_of_lid(lid), Some(q_topo), "node {node}");

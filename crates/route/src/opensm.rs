@@ -10,7 +10,7 @@
 
 use crate::demand::Demand;
 use crate::dijkstra::dijkstra_to_dest;
-use crate::engines::{install_tree, walk_lft, Parx, RoutingEngine};
+use crate::engines::{install_tree, walk_lft, RoutingEngine};
 use crate::lft::{RouteError, Routes};
 use crate::lid::Lid;
 use crate::pathdb::PathDb;
@@ -101,6 +101,17 @@ impl SubnetManager {
     /// The managed fabric.
     pub fn topo(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Label of the routing engine currently driving sweeps.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Whether the current engine owns an incremental-repair rule
+    /// ([`crate::engines::IncrementalRepair`]).
+    pub fn engine_owns_repair(&self) -> bool {
+        self.engine.incremental().is_some()
     }
 
     /// Current routing state (after the first sweep).
@@ -199,6 +210,7 @@ impl SubnetManager {
     ) -> Result<SweepReport, RouteError> {
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "fail_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
+        sp.arg("engine", hxobs::Json::from(self.engine.name()));
         if let Some(p) = self.plane {
             sp.set_plane(p);
         }
@@ -224,7 +236,19 @@ impl SubnetManager {
             && self.topo.link(l).class != LinkClass::Terminal;
         self.topo.deactivate(l);
         if try_incremental {
+            // Engines owning an incremental-repair rule get first shot; the
+            // generic load-aware patch is the fallback, a full resweep the
+            // last resort.
+            if self.engine.incremental().is_some() {
+                if let Ok(r) = self.engine_patch(l, false, ctx) {
+                    sp.arg("repair", hxobs::Json::from("engine"));
+                    sp.set_epoch(r.epoch);
+                    sp.end();
+                    return Ok(r);
+                }
+            }
             if let Ok(r) = self.reroute_incremental(l, ctx) {
+                sp.arg("repair", hxobs::Json::from("generic"));
                 sp.set_epoch(r.epoch);
                 sp.end();
                 return Ok(r);
@@ -234,6 +258,7 @@ impl SubnetManager {
         }
         match self.sweep() {
             Ok(r) => {
+                sp.arg("repair", hxobs::Json::from("resweep"));
                 sp.set_epoch(r.epoch);
                 sp.end();
                 Ok(r)
@@ -245,6 +270,41 @@ impl SubnetManager {
                 Err(e)
             }
         }
+    }
+
+    /// Applies the engine's own [`IncrementalRepair`] rule for cable `l`
+    /// (just deactivated when `recover` is false, just reactivated when
+    /// true), committing the returned LFT delta through the shared patch
+    /// pipeline. Only callable when [`RoutingEngine::incremental`] is
+    /// `Some`.
+    ///
+    /// [`IncrementalRepair`]: crate::engines::IncrementalRepair
+    fn engine_patch(
+        &mut self,
+        l: LinkId,
+        recover: bool,
+        parent: SpanCtx,
+    ) -> Result<SweepReport, RouteError> {
+        let op = if recover { "recover" } else { "reroute" };
+        let t0 = std::time::Instant::now();
+        let mut patch_sp = self.begin_patch_span(op, "engine", parent);
+        let (new_routes, touched) = {
+            let routes = self.routes.as_ref().expect("incremental needs routes");
+            let ir = self
+                .engine
+                .incremental()
+                .expect("engine_patch requires the IncrementalRepair capability");
+            let delta = if recover {
+                ir.on_recover(&self.topo, routes, l)?
+            } else {
+                ir.on_fail(&self.topo, routes, l)?
+            };
+            let mut new_routes = routes.clone();
+            delta.apply(&mut new_routes);
+            (new_routes, delta.touched)
+        };
+        patch_sp.arg("trees", hxobs::Json::from(touched.len()));
+        self.commit_patch(new_routes, touched, op, patch_sp, t0)
     }
 
     /// Repairs only the destination trees whose paths traverse the (already
@@ -272,21 +332,15 @@ impl SubnetManager {
         op: &str,
         parent: SpanCtx,
     ) -> Result<SweepReport, RouteError> {
-        let obs = hxobs::sink();
         let t0 = std::time::Instant::now();
-        let mut patch_sp = Span::under(parent, hxobs::track::OPENSM, 0, "pathdb_patch", "route");
-        if let Some(p) = self.plane {
-            patch_sp.set_plane(p);
-        }
-        patch_sp.arg("op", hxobs::Json::from(op));
-        patch_sp.arg("engine", hxobs::Json::from(self.engine.name()));
+        let mut patch_sp = self.begin_patch_span(op, "generic", parent);
         patch_sp.arg("trees", hxobs::Json::from(affected.len()));
         let db = self.pathdb.clone().expect("incremental needs a PathDb");
         let routes = self.routes.as_ref().expect("incremental needs routes");
-        let (new_routes, new_db) = if affected.is_empty() {
+        let new_routes = if affected.is_empty() {
             // Nothing traversed the cable; the epoch still advances so
             // consumers observe the topology change.
-            (routes.clone(), db.patched(&self.topo, routes, &[])?)
+            routes.clone()
         } else {
             // Current per-cable path counts keep the repair load-aware
             // without replaying the engine's balancing history.
@@ -311,9 +365,42 @@ impl SubnetManager {
                 }
                 install_tree(&mut new_routes, &tree, lid, dlink);
             }
-            let new_db = db.patched(&self.topo, &new_routes, &affected)?;
-            (new_routes, new_db)
+            new_routes
         };
+        self.commit_patch(new_routes, affected, op, patch_sp, t0)
+    }
+
+    /// Opens the `pathdb_patch` span shared by both repair mechanisms.
+    /// `mechanism` records who computed the patch: `"engine"` for an
+    /// engine-owned [`IncrementalRepair`] delta, `"generic"` for the
+    /// manager's load-aware destination-tree rebuild.
+    ///
+    /// [`IncrementalRepair`]: crate::engines::IncrementalRepair
+    fn begin_patch_span(&self, op: &str, mechanism: &str, parent: SpanCtx) -> Span {
+        let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "pathdb_patch", "route");
+        if let Some(p) = self.plane {
+            sp.set_plane(p);
+        }
+        sp.arg("op", hxobs::Json::from(op));
+        sp.arg("engine", hxobs::Json::from(self.engine.name()));
+        sp.arg("mechanism", hxobs::Json::from(mechanism));
+        sp
+    }
+
+    /// Validates a repaired routing state and commits it: patches the
+    /// PathDb for the `affected` trees, re-checks deadlock freedom, bumps
+    /// the epoch, and emits the repair telemetry. State is untouched on
+    /// error so the caller can fall back to a full resweep.
+    fn commit_patch(
+        &mut self,
+        new_routes: Routes,
+        affected: Vec<Lid>,
+        op: &str,
+        mut patch_sp: Span,
+        t0: std::time::Instant,
+    ) -> Result<SweepReport, RouteError> {
+        let db = self.pathdb.clone().expect("incremental needs a PathDb");
+        let new_db = db.patched(&self.topo, &new_routes, &affected)?;
         // Repaired trees keep their old service levels; re-check the CDGs
         // and let the caller fall back to a full sweep if layering broke.
         if self.verify {
@@ -329,7 +416,7 @@ impl SubnetManager {
             Some(p) => hxobs::sketch_record_plane("reroute.latency_us", self.epoch, p, secs * 1e6),
             None => hxobs::sketch_record("reroute.latency_us", self.epoch, secs * 1e6),
         }
-        if let Some(o) = &obs {
+        if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;
             o.tracer.name_process(hxobs::track::OPENSM, "opensm");
             o.counter_add(
@@ -382,6 +469,7 @@ impl SubnetManager {
     ) -> Result<SweepReport, RouteError> {
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "recover_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
+        sp.arg("engine", hxobs::Json::from(self.engine.name()));
         if let Some(p) = self.plane {
             sp.set_plane(p);
         }
@@ -406,8 +494,17 @@ impl SubnetManager {
             && !self.topo.is_active(l);
         self.topo.activate(l);
         if try_incremental {
+            if self.engine.incremental().is_some() {
+                if let Ok(r) = self.engine_patch(l, true, ctx) {
+                    sp.arg("repair", hxobs::Json::from("engine"));
+                    sp.set_epoch(r.epoch);
+                    sp.end();
+                    return Ok(r);
+                }
+            }
             let candidates = self.recover_candidates(l);
             if let Ok(r) = self.patch_trees(candidates, "recover", ctx) {
+                sp.arg("repair", hxobs::Json::from("generic"));
                 sp.set_epoch(r.epoch);
                 sp.end();
                 return Ok(r);
@@ -417,6 +514,7 @@ impl SubnetManager {
         }
         match self.sweep() {
             Ok(r) => {
+                sp.arg("repair", hxobs::Json::from("resweep"));
                 sp.set_epoch(r.epoch);
                 sp.end();
                 Ok(r)
@@ -472,9 +570,14 @@ impl SubnetManager {
     }
 
     /// The SAR/PARX trigger: re-route with a communication profile before a
-    /// job starts. Only meaningful when the engine is PARX; the demand is
-    /// wrapped into a fresh engine instance.
+    /// job starts. The engine decides what a demand-aware sweep means via
+    /// [`RoutingEngine::with_demand`]; engines without a demand-aware
+    /// variant return [`RouteError::NoDemandVariant`] and keep the current
+    /// routing state untouched.
     pub fn reroute_with_demand(&mut self, demand: Demand) -> Result<SweepReport, RouteError> {
+        let Some(engine) = self.engine.with_demand(demand) else {
+            return Err(RouteError::NoDemandVariant(self.engine.name()));
+        };
         if let Some(o) = hxobs::sink() {
             use hxobs::Recorder;
             o.counter_add("route.demand_reroutes", 1);
@@ -487,7 +590,7 @@ impl SubnetManager {
                 vec![],
             );
         }
-        self.engine = Box::new(Parx::with_demand(demand));
+        self.engine = engine;
         self.sweep()
     }
 }
@@ -495,7 +598,7 @@ impl SubnetManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::{Dfsssp, Sssp};
+    use crate::engines::{Dfsssp, FtHyperX, Parx, Sssp};
     use hxtopo::hyperx::HyperXConfig;
     use hxtopo::LinkClass;
 
@@ -693,6 +796,47 @@ mod tests {
         assert_eq!(r.epoch, 2);
         // PARX provides 4 LIDs per node.
         assert_eq!(sm.routes().unwrap().lid_map.lids_per_node(), 4);
+    }
+
+    #[test]
+    fn engine_owned_repair_matches_from_scratch_sweep() {
+        let mut sm = SubnetManager::new(hx(), Box::new(FtHyperX::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let r = sm.fail_link(isl).unwrap();
+        assert!(r.incremental, "FT-HyperX owns its fail repair");
+        assert_eq!(r.epoch, 2);
+        // History-free routing rule: the engine-owned patch is bit-identical
+        // to rerunning the engine from scratch on the faulted lattice.
+        let fresh = FtHyperX::default().route(sm.topo()).unwrap();
+        assert!(sm.routes().unwrap().lft_eq(&fresh));
+        let r = sm.recover_link(isl).unwrap();
+        assert!(r.incremental, "FT-HyperX owns its recover repair");
+        assert_eq!(r.epoch, 3);
+        let fresh = FtHyperX::default().route(sm.topo()).unwrap();
+        assert!(sm.routes().unwrap().lft_eq(&fresh));
+    }
+
+    #[test]
+    fn demand_trigger_errors_without_capability() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let epoch = sm.epoch();
+        let d = Demand::new(32);
+        assert!(matches!(
+            sm.reroute_with_demand(d),
+            Err(RouteError::NoDemandVariant("sssp"))
+        ));
+        // Routing state untouched by the refused trigger.
+        assert_eq!(sm.epoch(), epoch);
+        assert!(sm.routes().is_some());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! cable, so these properties also prove the affected-tree computation is
 //! complete: a single destination tree left unrepaired fails the rebuild.
 
-use hxroute::engines::{Dfsssp, Ftree, Lash, MinHop, Parx, RoutingEngine, Sssp, UpDown};
+use hxroute::engines::{
+    Dfsssp, FatPaths, FtHyperX, Ftree, Lash, MinHop, Parx, RoutingEngine, Sssp, UpDown,
+};
 use hxroute::{PathDb, SubnetManager};
 use hxtopo::fattree::{FatTreeConfig, Stage};
 use hxtopo::hyperx::HyperXConfig;
@@ -22,6 +24,8 @@ fn hyperx_engines() -> Vec<Box<dyn RoutingEngine>> {
         Box::new(UpDown::default()),
         Box::new(Lash::default()),
         Box::new(Parx::default()),
+        Box::new(FtHyperX::default()),
+        Box::new(FatPaths::default()),
     ]
 }
 
@@ -30,6 +34,7 @@ fn fattree_engines() -> Vec<Box<dyn RoutingEngine>> {
         Box::new(Ftree),
         Box::new(Sssp::default()),
         Box::new(UpDown::default()),
+        Box::new(FatPaths::default()),
     ]
 }
 

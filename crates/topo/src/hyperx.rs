@@ -105,30 +105,39 @@ impl HyperXShape {
     pub fn switch_at(&self, coord: &[u32]) -> SwitchId {
         assert_eq!(coord.len(), self.dims());
         let mut idx = 0usize;
-        for (d, (&c, &extent)) in coord.iter().zip(&self.shape).enumerate().rev() {
-            let _ = d;
+        for (&c, &extent) in coord.iter().zip(&self.shape).rev() {
             assert!(c < extent, "coordinate out of range");
             idx = idx * extent as usize + c as usize;
         }
         SwitchId::from_idx(idx)
     }
 
-    /// Quadrant of a switch; requires a 2-D shape with even extents.
-    pub fn quadrant(&self, s: SwitchId) -> Quadrant {
-        assert_eq!(self.dims(), 2, "quadrants defined for 2-D HyperX only");
-        assert!(
-            self.shape[0].is_multiple_of(2) && self.shape[1].is_multiple_of(2),
-            "quadrants require even dimensions"
-        );
+    /// Quadrant of a switch. Errs unless the shape is 2-D with even
+    /// extents — quadrants are only defined there (the paper's Table 1
+    /// LID policy); callers on other shapes must pick a different LID
+    /// layout rather than panic.
+    pub fn quadrant(&self, s: SwitchId) -> Result<Quadrant, String> {
+        if self.dims() != 2 {
+            return Err(format!(
+                "quadrants defined for 2-D HyperX only (shape has {} dims)",
+                self.dims()
+            ));
+        }
+        if !self.shape[0].is_multiple_of(2) || !self.shape[1].is_multiple_of(2) {
+            return Err(format!(
+                "quadrants require even extents (shape is {}x{})",
+                self.shape[0], self.shape[1]
+            ));
+        }
         let c = self.coord(s);
         let left = c[0] < self.shape[0] / 2;
         let top = c[1] < self.shape[1] / 2;
-        match (left, top) {
+        Ok(match (left, top) {
             (true, true) => Quadrant::Q0,
             (true, false) => Quadrant::Q1,
             (false, false) => Quadrant::Q2,
             (false, true) => Quadrant::Q3,
-        }
+        })
     }
 
     /// Switch a node is attached to (nodes are attached `T` per switch, in
@@ -433,16 +442,29 @@ mod tests {
         let t = HyperXConfig::t2_hyperx(672).build();
         let hx = t.meta.as_hyperx().unwrap();
         // Corners.
-        assert_eq!(hx.quadrant(hx.switch_at(&[0, 0])), Quadrant::Q0);
-        assert_eq!(hx.quadrant(hx.switch_at(&[0, 7])), Quadrant::Q1);
-        assert_eq!(hx.quadrant(hx.switch_at(&[11, 7])), Quadrant::Q2);
-        assert_eq!(hx.quadrant(hx.switch_at(&[11, 0])), Quadrant::Q3);
+        assert_eq!(hx.quadrant(hx.switch_at(&[0, 0])), Ok(Quadrant::Q0));
+        assert_eq!(hx.quadrant(hx.switch_at(&[0, 7])), Ok(Quadrant::Q1));
+        assert_eq!(hx.quadrant(hx.switch_at(&[11, 7])), Ok(Quadrant::Q2));
+        assert_eq!(hx.quadrant(hx.switch_at(&[11, 0])), Ok(Quadrant::Q3));
         // Quadrants are balanced: 24 switches each.
         let mut counts = [0usize; 4];
         for s in t.switches() {
-            counts[hx.quadrant(s).index()] += 1;
+            counts[hx.quadrant(s).unwrap().index()] += 1;
         }
         assert_eq!(counts, [24, 24, 24, 24]);
+    }
+
+    #[test]
+    fn quadrant_rejects_unsupported_shapes() {
+        // 3-D and odd-extent shapes have no quadrant decomposition; the
+        // call reports why instead of panicking (fallible-constructor
+        // idiom, matching `Fabric::new`).
+        let t3 = HyperXConfig::new(vec![2, 2, 2], 1).build();
+        let hx3 = t3.meta.as_hyperx().unwrap();
+        assert!(hx3.quadrant(SwitchId(0)).unwrap_err().contains("2-D"));
+        let todd = HyperXConfig::new(vec![3, 4], 1).build();
+        let hxodd = todd.meta.as_hyperx().unwrap();
+        assert!(hxodd.quadrant(SwitchId(0)).unwrap_err().contains("even"));
     }
 
     #[test]

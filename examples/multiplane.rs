@@ -80,6 +80,7 @@ fn main() {
             bytes: 4 << 20,
             max_down: 8,
             solver: SolverKind::Incremental,
+            ..CampaignConfig::default()
         },
     };
     let topo = HyperXConfig::t2_hyperx(672).build();

@@ -21,8 +21,8 @@ fn main() {
     // 1. Quadrants and Table 1.
     let (a, b) = (NodeId(0), NodeId(10));
     let (qa, qb) = (
-        hx.quadrant(topo.node_switch(a).0),
-        hx.quadrant(topo.node_switch(b).0),
+        hx.quadrant(topo.node_switch(a).0).unwrap(),
+        hx.quadrant(topo.node_switch(b).0).unwrap(),
     );
     println!("node {a} is in {qa:?}, node {b} in {qb:?}");
     println!(

@@ -133,6 +133,7 @@ fn four_plane_t7_campaign_survives_with_failover() {
             bytes: 4 << 20,
             max_down: 8,
             solver: SolverKind::Incremental,
+            ..CampaignConfig::default()
         },
     };
     let r = run_multiplane_campaign(&topo, |_| Box::new(Dfsssp::default()), &cfg)
