@@ -18,9 +18,11 @@
 
 use hxcore::{engine_from_env_or, run_campaign, CampaignConfig};
 use hxroute::engines::{Dfsssp, Ftree, RoutingEngine, Sssp};
+use hxroute::Demand;
 use hxsim::SolverKind;
 use hxtopo::fattree::FatTreeConfig;
 use hxtopo::hyperx::HyperXConfig;
+use hxtopo::NodeId;
 
 /// Plane size and campaign parameters, shrunk under `T2HX_QUICK=1`.
 fn scale() -> (usize, CampaignConfig) {
@@ -39,8 +41,24 @@ fn scale() -> (usize, CampaignConfig) {
     (if quick { 168 } else { 672 }, cfg)
 }
 
+/// The recorded communication profile the SAR trigger feeds the engine: a
+/// deterministic neighbor-ring (every node talks to its +1 and +7
+/// successors, nearest-neighbor traffic dominant). PARX ingests it;
+/// engines without a demand-aware variant log the fallback and run the
+/// plain sweep — same fingerprint either way for non-demand engines.
+fn ring_demand(n: usize) -> Demand {
+    let mut d = Demand::new(n);
+    for i in 0..n {
+        let src = NodeId(i as u32);
+        d.add(src, NodeId(((i + 1) % n) as u32), 8 << 20);
+        d.add(src, NodeId(((i + 7) % n) as u32), 1 << 20);
+    }
+    d
+}
+
 fn study(name: &str, topo: hxtopo::Topology, engine: Box<dyn RoutingEngine>) {
-    let (_, cfg) = scale();
+    let (_, mut cfg) = scale();
+    cfg.demand = Some(ring_demand(topo.num_nodes()));
     let r = run_campaign(&topo, engine, &cfg).expect("campaign");
     println!(
         "{name:<16} {:>7.2} {:>7.2} {:>6.1}% {:>8.1} {:>8.1} {:>4} {:>4} {:>5.1}% {:>8.1} {:016x}",

@@ -20,6 +20,11 @@
 //!   its engine, at least four distinct engines repaired faults, and
 //!   FT-HyperX healed with its own incremental rule (`repair="engine"`) —
 //!   never by falling back to a full resweep,
+//! * for the `hxd` harness (which has no campaign steps — the chain checks
+//!   above are skipped) every `query` span nests under a `serve` root,
+//!   carries a valid epoch stamp and a kind tag, at least one query hit
+//!   the per-epoch result cache, and churn spans prove the writer ran
+//!   concurrently,
 //! * the flight dump parses, its ring retained events, and it holds the
 //!   tail of the same story (a `step` span-end record).
 //!
@@ -52,6 +57,8 @@ struct SpanEv {
     plane: Option<u64>,
     engine: Option<String>,
     repair: Option<String>,
+    epoch: Option<u64>,
+    cached: Option<bool>,
 }
 
 fn load(path: &PathBuf) -> Json {
@@ -110,6 +117,14 @@ fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
                 .and_then(|a| a.get("repair"))
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            epoch: args
+                .and_then(|a| a.get("epoch"))
+                .and_then(Json::as_num)
+                .map(|v| v as u64),
+            cached: args.and_then(|a| a.get("cached")).and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
         };
         if !(sp.ts.is_finite() && sp.dur.is_finite() && sp.dur >= 0.0) {
             fail(&format!(
@@ -150,49 +165,53 @@ fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
         }
     }
 
-    // The causal chains the campaign must have told as one tree each.
-    let children_of = |pid: u64, name: &str| -> Vec<u64> {
-        spans
-            .iter()
-            .filter(|(_, s)| s.parent == pid && s.name == name)
-            .map(|(&id, _)| id)
-            .collect()
-    };
-    let mut fail_chain = false;
-    let mut recover_chain = false;
-    for (&id, sp) in &spans {
-        if sp.name != "step" {
-            continue;
+    // The causal chains the campaign must have told as one tree each. The
+    // hxd daemon has no workload steps — its churn spans are bare
+    // fail_link/recover_link trees and its story is checked below.
+    if harness != "hxd" {
+        let children_of = |pid: u64, name: &str| -> Vec<u64> {
+            spans
+                .iter()
+                .filter(|(_, s)| s.parent == pid && s.name == name)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        let mut fail_chain = false;
+        let mut recover_chain = false;
+        for (&id, sp) in &spans {
+            if sp.name != "step" {
+                continue;
+            }
+            match sp.kind.as_deref() {
+                Some("fail") => {
+                    let complete = children_of(id, "fail_link")
+                        .iter()
+                        .any(|&f| !children_of(f, "pathdb_patch").is_empty())
+                        && !children_of(id, "repath").is_empty()
+                        && !children_of(id, "resolve").is_empty();
+                    fail_chain |= complete;
+                }
+                Some("recover") => {
+                    recover_chain |= !children_of(id, "recover_link").is_empty();
+                }
+                _ => {
+                    // CampaignStepper steps carry both halves under one span.
+                    let complete = children_of(id, "fail_link")
+                        .iter()
+                        .any(|&f| !children_of(f, "pathdb_patch").is_empty())
+                        && !children_of(id, "repath").is_empty()
+                        && !children_of(id, "resolve").is_empty();
+                    fail_chain |= complete;
+                    recover_chain |= !children_of(id, "recover_link").is_empty();
+                }
+            }
         }
-        match sp.kind.as_deref() {
-            Some("fail") => {
-                let complete = children_of(id, "fail_link")
-                    .iter()
-                    .any(|&f| !children_of(f, "pathdb_patch").is_empty())
-                    && !children_of(id, "repath").is_empty()
-                    && !children_of(id, "resolve").is_empty();
-                fail_chain |= complete;
-            }
-            Some("recover") => {
-                recover_chain |= !children_of(id, "recover_link").is_empty();
-            }
-            _ => {
-                // CampaignStepper steps carry both halves under one span.
-                let complete = children_of(id, "fail_link")
-                    .iter()
-                    .any(|&f| !children_of(f, "pathdb_patch").is_empty())
-                    && !children_of(id, "repath").is_empty()
-                    && !children_of(id, "resolve").is_empty();
-                fail_chain |= complete;
-                recover_chain |= !children_of(id, "recover_link").is_empty();
-            }
+        if !fail_chain {
+            fail("no complete step→fail_link→pathdb_patch chain (with repath/resolve) in trace");
         }
-    }
-    if !fail_chain {
-        fail("no complete step→fail_link→pathdb_patch chain (with repath/resolve) in trace");
-    }
-    if !recover_chain {
-        fail("no step→recover_link chain in trace");
+        if !recover_chain {
+            fail("no step→recover_link chain in trace");
+        }
     }
 
     // Plane causality: a plane-stamped span never hangs under a parent
@@ -273,10 +292,50 @@ fn validate_trace(path: &PathBuf, harness: &str) -> HashMap<u64, SpanEv> {
             fail("no ft-hyperx repair with its own incremental rule (repair=\"engine\") in trace");
         }
     }
+
+    // The hxd daemon must tell the read-side story: every query span hangs
+    // under a serve loop root and is stamped with the epoch it answered
+    // against, churn really ran concurrently (bare fail/recover trees in
+    // the same trace), and the per-epoch result cache actually hit.
+    if harness == "hxd" {
+        let (mut queries, mut cached_hits, mut churn) = (0u64, 0u64, false);
+        for (id, sp) in &spans {
+            churn |= sp.name == "fail_link" || sp.name == "recover_link";
+            if sp.name != "query" {
+                continue;
+            }
+            queries += 1;
+            match spans.get(&sp.parent) {
+                Some(p) if p.name == "serve" => {}
+                Some(p) => fail(&format!(
+                    "query span {id} hangs under {:?}, not a serve root",
+                    p.name
+                )),
+                None => fail(&format!("query span {id} has no serve parent")),
+            }
+            match sp.epoch {
+                Some(e) if e >= 1 => {}
+                _ => fail(&format!("query span {id} carries no valid epoch stamp")),
+            }
+            if sp.kind.is_none() {
+                fail(&format!("query span {id} carries no kind tag"));
+            }
+            cached_hits += u64::from(sp.cached == Some(true));
+        }
+        if queries == 0 {
+            fail("hxd trace holds no query spans");
+        }
+        if cached_hits == 0 {
+            fail("no cached query span in hxd trace (the result cache never hit)");
+        }
+        if !churn {
+            fail("no fail_link/recover_link span in hxd trace (churn never ran)");
+        }
+    }
     spans
 }
 
-fn validate_flight(path: &PathBuf) {
+fn validate_flight(path: &PathBuf, harness: &str) {
     let doc = load(path);
     let recorded = doc
         .get("recorded")
@@ -300,7 +359,10 @@ fn validate_flight(path: &PathBuf) {
         "sample",
         "instant",
     ];
-    let mut step_end = false;
+    // The ring tail must hold the end of the harness's own story: a
+    // campaign step for the churn harnesses, a served query for hxd.
+    let tail_name = if harness == "hxd" { "query" } else { "step" };
+    let mut tail_end = false;
     for ev in events {
         let kind = ev
             .get("kind")
@@ -316,10 +378,12 @@ fn validate_flight(path: &PathBuf) {
         if ev.get("ts_us").and_then(Json::as_num).is_none() {
             fail(&format!("flight event {name:?} without ts_us"));
         }
-        step_end |= kind == "span_end" && name == "step";
+        tail_end |= kind == "span_end" && name == tail_name;
     }
-    if !step_end {
-        fail("flight ring tail holds no span_end record for a campaign step");
+    if !tail_end {
+        fail(&format!(
+            "flight ring tail holds no span_end record for a {tail_name:?} span"
+        ));
     }
 }
 
@@ -335,7 +399,7 @@ fn main() {
     let trace = dir.join(format!("{harness}.trace.json"));
     let flight = dir.join("flightdump.json");
     let spans = validate_trace(&trace, &harness);
-    validate_flight(&flight);
+    validate_flight(&flight, &harness);
     println!(
         "obs_validate: OK — {} spans nested cleanly in {}, flight dump {} valid",
         spans.len(),

@@ -105,6 +105,10 @@ pub const HARNESSES: &[Harness] = &[
         about: "routing-engine tournament under seeded fault churn",
     },
     Harness {
+        name: "hxd",
+        about: "resident what-if query service over epoch snapshots",
+    },
+    Harness {
         name: "hxperf",
         about: "benchmark-trajectory point + perf-regression gate",
     },

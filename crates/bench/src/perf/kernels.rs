@@ -93,6 +93,11 @@ pub const ALL: &[Kernel] = &[
         collect: fatpaths_build,
     },
     Kernel {
+        name: "hxd_query",
+        about: "hxd read side: mixed resolve/place/stats batch on a pinned epoch",
+        collect: hxd_query,
+    },
+    Kernel {
         name: "obs_disabled",
         about: "disabled-path overhead of span/counter/sketch call sites",
         collect: obs_disabled,
@@ -400,6 +405,48 @@ fn fatpaths_build(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f6
         engine.route(&topo).unwrap();
     });
     (format!("{scale}/L{}", engine.layers), ns)
+}
+
+/// Queries per timed iteration of `hxd_query`.
+const HXD_BATCH: usize = 64;
+
+/// The hxd read side: a fresh [`hxcore::ServiceReader`] answers a fixed
+/// mixed batch — 56 cross-quadrant resolves, 4 quadrant-aware placements,
+/// 4 stats — against a published epoch snapshot. The fresh reader per
+/// iteration means the batch exercises both the cold (execute + cache
+/// fill) and warm (cache hit) paths exactly as a newly attached operator
+/// console would; the per-query cost is this sample divided by 64.
+fn hxd_query(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let sm = swept(&topo);
+    let svc = hxcore::FabricService::from_manager(&sm).unwrap();
+    let n = topo.num_nodes() as u32;
+    let batch: Vec<hxcore::Query> = (0..HXD_BATCH as u32)
+        .map(|i| match i % 16 {
+            14 => hxcore::Query::Place {
+                ranks: 4 << (i / 16),
+            },
+            15 => hxcore::Query::Stats,
+            _ => {
+                let src = (i * 7) % n;
+                hxcore::Query::Resolve {
+                    src,
+                    dst: (src + 1 + (i * 13) % (n - 1)) % n,
+                }
+            }
+        })
+        .collect();
+    let ns = time_loop_batched(
+        warmup,
+        samples,
+        || svc.reader(),
+        |mut r| {
+            for q in &batch {
+                r.query(q).unwrap();
+            }
+        },
+    );
+    (format!("{scale}xQ{}", batch.len()), ns)
 }
 
 /// Instrumentation call sites per timed iteration of `obs_disabled`.

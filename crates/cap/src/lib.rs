@@ -13,5 +13,7 @@
 //! cites Jain et al. on inter-job interference) while staying deterministic.
 
 pub mod capacity;
+pub mod place;
 
 pub use capacity::{paper_mix, run_capacity, AppResult, AppSlot, CapacityConfig, CapacityResult};
+pub use place::{place_ranks, quadrant_pool_order, Placed};

@@ -1,0 +1,162 @@
+//! Quadrant-aware rank placement for the `hxd` `place(k)` query.
+//!
+//! The capacity study (Section 5.3) slices consecutive blocks off an
+//! ordered node pool; the PARX evaluation shows locality within a HyperX
+//! quadrant is what keeps a job off the congested long dimensions. This
+//! module combines the two: order the pool quadrant-major (so a `k`-node
+//! slice spans as few quadrants as possible), take the first `k` free
+//! nodes, and score the result by mean pairwise ISL hops measured on the
+//! epoch's path store — the same metric Table 1 optimizes per message.
+
+use hxroute::{PathDb, Routes};
+use hxtopo::{NodeId, SwitchId, Topology};
+
+/// A `place(k)` answer: the chosen nodes plus the locality score of the
+/// slice, measured against one path-store epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placed {
+    /// Chosen nodes, in pool order (quadrant-major on a 2-D HyperX).
+    pub nodes: Vec<NodeId>,
+    /// Mean pairwise switch-to-switch hops across all ordered pairs of the
+    /// slice (0.0 for a single-rank job).
+    pub mean_isl_hops: f64,
+    /// Distinct HyperX quadrants the slice touches (0 when the topology
+    /// has no quadrant structure — non-HyperX or odd extents).
+    pub quadrant_spread: u32,
+}
+
+/// Orders the node pool for allocation slicing: quadrant-major, then
+/// switch-major, on a 2-D even-extent HyperX; plain node order everywhere
+/// else. A consecutive `k`-slice of this order is the quadrant-aware
+/// placement the capacity combos feed to [`crate::run_capacity`].
+pub fn quadrant_pool_order(topo: &Topology) -> Vec<NodeId> {
+    let mut pool: Vec<NodeId> = topo.nodes().collect();
+    if let Some(hx) = topo.meta.as_hyperx() {
+        if hx.quadrant(SwitchId(0)).is_ok() {
+            pool.sort_by_key(|&n| {
+                let (sw, _) = topo.node_switch(n);
+                let q = hx.quadrant(sw).map(|q| q.index()).unwrap_or(usize::MAX);
+                (q, sw.0, n.0)
+            });
+        }
+    }
+    pool
+}
+
+/// Distinct quadrants a node set touches (0 without quadrant structure).
+fn quadrant_spread(topo: &Topology, nodes: &[NodeId]) -> u32 {
+    let Some(hx) = topo.meta.as_hyperx() else {
+        return 0;
+    };
+    let mut seen = [false; 4];
+    for &n in nodes {
+        let (sw, _) = topo.node_switch(n);
+        if let Ok(q) = hx.quadrant(sw) {
+            seen[q.index()] = true;
+        } else {
+            return 0;
+        }
+    }
+    seen.iter().filter(|&&s| s).count() as u32
+}
+
+/// Places a `k`-rank job on the fabric: slices the first `k` nodes off the
+/// quadrant-major pool and scores the slice by mean pairwise ISL hops on
+/// the given path-store epoch. Returns `None` when `k` is zero or exceeds
+/// the node count — a malformed query, not a fabric fault.
+pub fn place_ranks(topo: &Topology, routes: &Routes, db: &PathDb, k: usize) -> Option<Placed> {
+    if k == 0 || k > topo.num_nodes() {
+        return None;
+    }
+    let nodes: Vec<NodeId> = quadrant_pool_order(topo).into_iter().take(k).collect();
+    let mut hops_sum = 0u64;
+    let mut pairs = 0u64;
+    let mut scratch = Vec::new();
+    for &src in &nodes {
+        for &dst in &nodes {
+            if src == dst {
+                continue;
+            }
+            let lid = routes.lid_map.base(dst);
+            if db.node_path_into(src, lid, &mut scratch) {
+                hops_sum += scratch.len().saturating_sub(2) as u64;
+                pairs += 1;
+            }
+        }
+    }
+    let mean_isl_hops = if pairs == 0 {
+        0.0
+    } else {
+        hops_sum as f64 / pairs as f64
+    };
+    let quadrant_spread = quadrant_spread(topo, &nodes);
+    Some(Placed {
+        nodes,
+        mean_isl_hops,
+        quadrant_spread,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hxroute::engines::{RoutingEngine, Sssp};
+    use hxtopo::hyperx::HyperXConfig;
+
+    fn swept(topo: &Topology) -> (Routes, PathDb) {
+        let routes = Sssp::default().route(topo).unwrap();
+        let db = PathDb::build(topo, &routes, 1, 1).unwrap();
+        (routes, db)
+    }
+
+    #[test]
+    fn pool_order_is_quadrant_major() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let hx = topo.meta.as_hyperx().unwrap().clone();
+        let pool = quadrant_pool_order(&topo);
+        assert_eq!(pool.len(), topo.num_nodes());
+        let qs: Vec<usize> = pool
+            .iter()
+            .map(|&n| hx.quadrant(topo.node_switch(n).0).unwrap().index())
+            .collect();
+        // Quadrant indices are non-decreasing: a k-slice stays local.
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(qs.first(), Some(&0));
+        assert_eq!(qs.last(), Some(&3));
+    }
+
+    #[test]
+    fn small_jobs_stay_in_one_quadrant() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let (routes, db) = swept(&topo);
+        // 8 ranks fit a single 2x2-switch quadrant (2 terminals each).
+        let p = place_ranks(&topo, &routes, &db, 8).unwrap();
+        assert_eq!(p.nodes.len(), 8);
+        assert_eq!(p.quadrant_spread, 1);
+        // Whole-machine jobs span all four.
+        let p = place_ranks(&topo, &routes, &db, topo.num_nodes()).unwrap();
+        assert_eq!(p.quadrant_spread, 4);
+        // Locality: the small slice is tighter than the full machine.
+        let small = place_ranks(&topo, &routes, &db, 8).unwrap();
+        assert!(small.mean_isl_hops < p.mean_isl_hops);
+    }
+
+    #[test]
+    fn malformed_sizes_are_rejected() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let (routes, db) = swept(&topo);
+        assert!(place_ranks(&topo, &routes, &db, 0).is_none());
+        assert!(place_ranks(&topo, &routes, &db, topo.num_nodes() + 1).is_none());
+    }
+
+    #[test]
+    fn non_quadrant_planes_fall_back_to_node_order() {
+        // 1-D HyperX has no quadrants: pool order is plain node order.
+        let topo = HyperXConfig::new(vec![4], 2).build();
+        let pool = quadrant_pool_order(&topo);
+        assert_eq!(pool, topo.nodes().collect::<Vec<_>>());
+        let (routes, db) = swept(&topo);
+        let p = place_ranks(&topo, &routes, &db, 4).unwrap();
+        assert_eq!(p.quadrant_spread, 0);
+    }
+}

@@ -59,6 +59,12 @@ pub struct CampaignConfig {
     /// single-path engines; `FlowHash` spreads flows across a multipath
     /// engine's routing layers).
     pub pml: Pml,
+    /// Optional communication profile handed to the SAR/PARX trigger
+    /// before the workload starts. Engines without a demand-aware variant
+    /// log the [`RouteError::NoDemandVariant`] miss and keep the plain
+    /// sweep — the campaign proceeds either way (`None` skips the trigger
+    /// entirely, the pre-PR-9 behavior).
+    pub demand: Option<hxroute::Demand>,
 }
 
 impl Default for CampaignConfig {
@@ -73,6 +79,7 @@ impl Default for CampaignConfig {
             max_down: 8,
             solver: SolverKind::default(),
             pml: Pml::Ob1,
+            demand: None,
         }
     }
 }
@@ -199,7 +206,15 @@ fn propagate_epoch(
     bytes: u64,
     parent: SpanCtx,
 ) {
-    let db = sm.pathdb().expect("campaign manager keeps a store");
+    let Some(db) = sm.pathdb() else {
+        // A manager without a store (mid-bring-up race) has nothing to
+        // propagate; the fabric keeps routing on its previous epoch. This
+        // is unreachable from the campaign loop — which only calls in
+        // after a successful sweep — but a daemon embedding the stepper
+        // must degrade, not crash.
+        debug_assert!(false, "propagate_epoch before the first sweep");
+        return;
+    };
     fabric.install_pathdb(db.clone());
     net.set_obs_epoch(db.epoch());
     if let Some(o) = hxobs::sink() {
@@ -332,19 +347,30 @@ impl CampaignRun<'_> {
         step_sp.arg("link", hxobs::Json::from(l.0 as u64));
         step_sp.arg("engine", hxobs::Json::from(self.sm.engine_name()));
         let step = step_sp.ctx();
-        let r = self
-            .sm
-            .recover_link_spanned(l, step)
-            .expect("recovery re-adds capacity; it cannot disconnect");
-        self.report.recoveries += 1;
-        self.report.trees_patched += r.patched_trees as u64;
-        if r.incremental {
-            self.report.incremental_events += 1;
+        match self.sm.recover_link_spanned(l, step) {
+            Ok(r) => {
+                self.report.recoveries += 1;
+                self.report.trees_patched += r.patched_trees as u64;
+                if r.incremental {
+                    self.report.incremental_events += 1;
+                }
+                self.propagate(net, ctx, step);
+                self.report.reroute_ns += t0.elapsed().as_nanos();
+                step_sp.set_epoch(r.epoch);
+                step_sp.end();
+            }
+            Err(e) => {
+                // Recovery re-adds capacity, so this only fires when the
+                // engine itself fails to re-route (e.g. VL overflow on the
+                // fallback resweep). recover_link rolled back to the
+                // previous consistent state; count the skip and keep the
+                // campaign alive instead of crashing it.
+                self.report.skipped += 1;
+                self.report.reroute_ns += t0.elapsed().as_nanos();
+                step_sp.arg("recover_failed", hxobs::Json::from(e.to_string()));
+                step_sp.end();
+            }
         }
-        self.propagate(net, ctx, step);
-        self.report.reroute_ns += t0.elapsed().as_nanos();
-        step_sp.set_epoch(r.epoch);
-        step_sp.end();
     }
 
     /// Live epoch propagation: installs the freshly-patched path store into
@@ -502,7 +528,30 @@ pub fn engine_from_env_or(
     }
 }
 
-/// Runs a full campaign on one plane: sweeps the topology with `engine`,
+/// Fires the SAR/PARX demand trigger when the campaign carries a profile.
+/// An engine without a demand-aware variant is a logged fallback, not a
+/// campaign failure: the run keeps the plain sweep, mirroring the paper's
+/// toolchain where `OSM0TRIGGER` support is engine-specific.
+fn apply_demand_trigger(sm: &mut SubnetManager, cfg: &CampaignConfig) -> Result<(), RouteError> {
+    let Some(d) = cfg.demand.clone() else {
+        return Ok(());
+    };
+    match sm.reroute_with_demand(d) {
+        Ok(_) => Ok(()),
+        Err(RouteError::NoDemandVariant(engine)) => {
+            eprintln!(
+                "campaign: engine {engine} has no demand-aware variant; \
+                 falling back to the non-demand sweep"
+            );
+            hxobs::count("campaign.demand_fallbacks", 1);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs a full campaign on one plane: sweeps the topology with `engine`
+/// (applying the optional demand profile through the SAR trigger),
 /// measures the healthy closed-loop baseline, then replays the same
 /// workload under the seeded MTBF/MTTR churn process.
 pub fn run_campaign(
@@ -513,6 +562,7 @@ pub fn run_campaign(
     let mut sm = SubnetManager::new(topo.clone(), engine);
     sm.verify = false; // throughput study; correctness pinned by tests
     sm.sweep()?;
+    apply_demand_trigger(&mut sm, cfg)?;
     let fab_topo = sm.topo().clone();
     let fab_routes = sm.routes().expect("swept").clone();
     let nodes: Vec<NodeId> = fab_topo.nodes().collect();
@@ -641,10 +691,26 @@ impl CampaignStepper<'_> {
                 self.cfg.bytes,
                 step,
             );
-            let recover = self
-                .sm
-                .recover_link_spanned(victim, step)
-                .expect("recovery re-adds capacity; it cannot disconnect");
+            let recover = match self.sm.recover_link_spanned(victim, step) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Restoring capacity cannot disconnect, so this is the
+                    // engine failing to re-route (rolled back inside
+                    // recover_link). Propagate the still-consistent state
+                    // and redraw rather than crash the resident loop.
+                    propagate_epoch(
+                        &self.sm,
+                        self.fabric,
+                        &mut self.net,
+                        &self.ctx,
+                        self.cfg.bytes,
+                        step,
+                    );
+                    step_sp.arg("recover_failed", hxobs::Json::from(e.to_string()));
+                    step_sp.end();
+                    continue;
+                }
+            };
             propagate_epoch(
                 &self.sm,
                 self.fabric,
@@ -683,6 +749,7 @@ pub fn with_stepper<R>(
     let mut sm = SubnetManager::new(topo.clone(), engine);
     sm.verify = false;
     sm.sweep()?;
+    apply_demand_trigger(&mut sm, cfg)?;
     let fab_topo = sm.topo().clone();
     let fab_routes = sm.routes().expect("swept").clone();
     let nodes: Vec<NodeId> = fab_topo.nodes().collect();
@@ -740,6 +807,7 @@ mod tests {
             max_down: 4,
             solver,
             pml: Pml::Ob1,
+            demand: None,
         }
     }
 
@@ -785,6 +853,32 @@ mod tests {
         let again = with_stepper(&topo, Box::new(Sssp::default()), &cfg, |s| s.step()).unwrap();
         let first = with_stepper(&topo, Box::new(Sssp::default()), &cfg, |s| s.step()).unwrap();
         assert_eq!(again.victim, first.victim);
+    }
+
+    #[test]
+    fn demand_trigger_falls_back_without_capability() {
+        use hxroute::Demand;
+        use hxtopo::NodeId;
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let mut d = Demand::new(topo.num_nodes());
+        d.add(NodeId(0), NodeId(31), 16 << 20);
+        let mut cfg = quick_cfg(SolverKind::Exact);
+        cfg.demand = Some(d);
+        // SSSP has no demand variant: the campaign must log-and-fallback,
+        // producing exactly the non-demand campaign.
+        let with = run_campaign(&topo, Box::new(Sssp::default()), &cfg).unwrap();
+        let without = run_campaign(
+            &topo,
+            Box::new(Sssp::default()),
+            &quick_cfg(SolverKind::Exact),
+        )
+        .unwrap();
+        assert_eq!(with.fingerprint(), without.fingerprint());
+        // PARX owns the trigger: the demand-aware campaign must run clean.
+        use hxroute::engines::Parx;
+        let parx = run_campaign(&topo, Box::new(Parx::default()), &cfg).unwrap();
+        assert!(parx.failures > 0);
+        assert_eq!(parx.recoveries, parx.failures);
     }
 
     #[test]

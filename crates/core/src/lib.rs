@@ -19,7 +19,11 @@
 //!   incremental re-routing and live epoch propagation into the fabric,
 //! * [`multiplane`] — the K-plane extension: plane-tagged churn events,
 //!   per-shard epoch propagation, and NIC rail failover of in-flight flows
-//!   onto surviving planes.
+//!   onto surviving planes,
+//! * [`service`] — the resident `hxd` read side: epoch-versioned
+//!   [`FabricSnapshot`](hxroute::FabricSnapshot) publication with
+//!   lock-free reader pinning, and the resolve / what-if / place / stats
+//!   query engine with per-epoch result caching.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod combos;
 pub mod experiment;
 pub mod multiplane;
 pub mod report;
+pub mod service;
 pub mod system;
 
 pub use campaign::{
@@ -62,4 +67,5 @@ pub use multiplane::{
     run_multiplane_campaign, with_multi_stepper, MultiPlaneConfig, MultiPlaneReport,
     MultiPlaneStepper, MultiStepReport,
 };
+pub use service::{Answer, FabricService, Query, QueryError, ServiceReader};
 pub use system::{planes_from_env, Plane, System, SystemBuilder, T2hx};

@@ -58,6 +58,9 @@ pub mod track {
     pub const RUNNER: u32 = 1001;
     /// The MPI schedule-compilation track.
     pub const MPI: u32 = 1002;
+    /// The resident `hxd` query service's wall-clock track; reader
+    /// threads use their reader index as the tid within it.
+    pub const HXD: u32 = 1003;
 }
 
 /// Sink for metric updates and trace events. The default methods all

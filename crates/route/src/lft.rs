@@ -130,6 +130,17 @@ pub enum RouteError {
     /// The demand-aware reroute trigger fired but the active engine has
     /// no demand-aware variant (`RoutingEngine::with_demand` is `None`).
     NoDemandVariant(&'static str),
+    /// A lifecycle operation (named by the payload) ran before the first
+    /// successful sweep populated the routing state. Retryable: sweep,
+    /// then reissue.
+    NotSwept(&'static str),
+    /// The manager holds routes but no path store — an incremental patch
+    /// or snapshot cannot proceed. Retryable after a full sweep.
+    NoPathDb,
+    /// An engine-owned incremental repair was requested but the named
+    /// engine does not implement the `IncrementalRepair` capability; the
+    /// dispatcher falls back to the generic load-aware patch.
+    NoEngineRepair(&'static str),
 }
 
 impl std::fmt::Display for RouteError {
@@ -149,6 +160,13 @@ impl std::fmt::Display for RouteError {
             } => write!(f, "needs {required} VLs, hardware has {available}"),
             RouteError::NoDemandVariant(engine) => {
                 write!(f, "engine {engine} has no demand-aware variant")
+            }
+            RouteError::NotSwept(op) => {
+                write!(f, "{op} before the first sweep: no routing state yet")
+            }
+            RouteError::NoPathDb => write!(f, "no path store for the current epoch"),
+            RouteError::NoEngineRepair(engine) => {
+                write!(f, "engine {engine} owns no incremental-repair rule")
             }
         }
     }

@@ -72,7 +72,7 @@ pub use engines::{
 };
 pub use lft::{DirLink, Path, RouteError, Routes};
 pub use lid::{Lid, LidMap, LidPolicy};
-pub use opensm::{SubnetManager, SweepReport};
+pub use opensm::{FabricSnapshot, SubnetManager, SweepReport, WhatIfReport};
 pub use pathdb::PathDb;
 pub use plane::PlaneSet;
 pub use table1::{lid_choices, select_lid, SizeClass, DEFAULT_THRESHOLD};

@@ -208,6 +208,13 @@ impl SubnetManager {
         l: LinkId,
         parent: SpanCtx,
     ) -> Result<SweepReport, RouteError> {
+        // Lifecycle contract: churn against an unswept manager is a caller
+        // bug in a batch run but a benign race in a resident daemon (a query
+        // or event arriving mid-bring-up) — degrade to a retryable error
+        // with the fabric view untouched instead of panicking.
+        if self.routes.is_none() || self.pathdb.is_none() {
+            return Err(RouteError::NotSwept("fail_link"));
+        }
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "fail_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
         sp.arg("engine", hxobs::Json::from(self.engine.name()));
@@ -230,22 +237,19 @@ impl SubnetManager {
         }
         // Terminal cables detach a node outright; that is a membership
         // change, not a reroute — leave it to the full-sweep path.
-        let try_incremental = self.incremental
-            && self.routes.is_some()
-            && self.pathdb.is_some()
-            && self.topo.link(l).class != LinkClass::Terminal;
+        let try_incremental = self.incremental && self.topo.link(l).class != LinkClass::Terminal;
         self.topo.deactivate(l);
         if try_incremental {
             // Engines owning an incremental-repair rule get first shot; the
             // generic load-aware patch is the fallback, a full resweep the
-            // last resort.
-            if self.engine.incremental().is_some() {
-                if let Ok(r) = self.engine_patch(l, false, ctx) {
-                    sp.arg("repair", hxobs::Json::from("engine"));
-                    sp.set_epoch(r.epoch);
-                    sp.end();
-                    return Ok(r);
-                }
+            // last resort. The capability probe lives inside `engine_patch`
+            // itself: an engine without the rule returns
+            // [`RouteError::NoEngineRepair`] and falls through here.
+            if let Ok(r) = self.engine_patch(l, false, ctx) {
+                sp.arg("repair", hxobs::Json::from("engine"));
+                sp.set_epoch(r.epoch);
+                sp.end();
+                return Ok(r);
             }
             if let Ok(r) = self.reroute_incremental(l, ctx) {
                 sp.arg("repair", hxobs::Json::from("generic"));
@@ -275,8 +279,10 @@ impl SubnetManager {
     /// Applies the engine's own [`IncrementalRepair`] rule for cable `l`
     /// (just deactivated when `recover` is false, just reactivated when
     /// true), committing the returned LFT delta through the shared patch
-    /// pipeline. Only callable when [`RoutingEngine::incremental`] is
-    /// `Some`.
+    /// pipeline. The capability probe is part of this dispatch step: an
+    /// engine without [`RoutingEngine::incremental`] yields
+    /// [`RouteError::NoEngineRepair`] (no span emitted, no state touched)
+    /// and the caller falls through to the generic load-aware patch.
     ///
     /// [`IncrementalRepair`]: crate::engines::IncrementalRepair
     fn engine_patch(
@@ -285,15 +291,24 @@ impl SubnetManager {
         recover: bool,
         parent: SpanCtx,
     ) -> Result<SweepReport, RouteError> {
+        if self.engine.incremental().is_none() {
+            return Err(RouteError::NoEngineRepair(self.engine.name()));
+        }
+        if self.routes.is_none() {
+            return Err(RouteError::NotSwept("engine_patch"));
+        }
         let op = if recover { "recover" } else { "reroute" };
         let t0 = std::time::Instant::now();
         let mut patch_sp = self.begin_patch_span(op, "engine", parent);
         let (new_routes, touched) = {
-            let routes = self.routes.as_ref().expect("incremental needs routes");
+            let routes = self
+                .routes
+                .as_ref()
+                .ok_or(RouteError::NotSwept("engine_patch"))?;
             let ir = self
                 .engine
                 .incremental()
-                .expect("engine_patch requires the IncrementalRepair capability");
+                .ok_or(RouteError::NoEngineRepair(self.engine.name()))?;
             let delta = if recover {
                 ir.on_recover(&self.topo, routes, l)?
             } else {
@@ -317,7 +332,7 @@ impl SubnetManager {
         let affected = self
             .pathdb
             .as_ref()
-            .expect("incremental needs a PathDb")
+            .ok_or(RouteError::NoPathDb)?
             .affected_by(l);
         self.patch_trees(affected, "reroute", parent)
     }
@@ -332,41 +347,18 @@ impl SubnetManager {
         op: &str,
         parent: SpanCtx,
     ) -> Result<SweepReport, RouteError> {
+        if self.routes.is_none() {
+            return Err(RouteError::NotSwept("patch_trees"));
+        }
+        let db = self.pathdb.clone().ok_or(RouteError::NoPathDb)?;
         let t0 = std::time::Instant::now();
         let mut patch_sp = self.begin_patch_span(op, "generic", parent);
         patch_sp.arg("trees", hxobs::Json::from(affected.len()));
-        let db = self.pathdb.clone().expect("incremental needs a PathDb");
-        let routes = self.routes.as_ref().expect("incremental needs routes");
-        let new_routes = if affected.is_empty() {
-            // Nothing traversed the cable; the epoch still advances so
-            // consumers observe the topology change.
-            routes.clone()
-        } else {
-            // Current per-cable path counts keep the repair load-aware
-            // without replaying the engine's balancing history.
-            let weights = db.link_loads(&self.topo);
-            let src_switches: Vec<SwitchId> = self
-                .topo
-                .switches()
-                .filter(|&s| self.topo.attached_nodes(s).next().is_some())
-                .collect();
-            let mut new_routes = routes.clone();
-            for &lid in &affected {
-                let owner = new_routes
-                    .lid_map
-                    .owner(lid)
-                    .ok_or(RouteError::UnknownLid(lid))?;
-                let (dsw, dlink) = self.topo.node_switch(owner);
-                let tree = dijkstra_to_dest(&self.topo, dsw, &weights, None);
-                for &s in &src_switches {
-                    if !tree.reachable(s) {
-                        return Err(RouteError::NoRoute { switch: s, lid });
-                    }
-                }
-                install_tree(&mut new_routes, &tree, lid, dlink);
-            }
-            new_routes
-        };
+        let routes = self
+            .routes
+            .as_ref()
+            .ok_or(RouteError::NotSwept("patch_trees"))?;
+        let new_routes = repair_trees(&self.topo, routes, &db, &affected)?;
         self.commit_patch(new_routes, affected, op, patch_sp, t0)
     }
 
@@ -399,7 +391,7 @@ impl SubnetManager {
         mut patch_sp: Span,
         t0: std::time::Instant,
     ) -> Result<SweepReport, RouteError> {
-        let db = self.pathdb.clone().expect("incremental needs a PathDb");
+        let db = self.pathdb.clone().ok_or(RouteError::NoPathDb)?;
         let new_db = db.patched(&self.topo, &new_routes, &affected)?;
         // Repaired trees keep their old service levels; re-check the CDGs
         // and let the caller fall back to a full sweep if layering broke.
@@ -467,6 +459,11 @@ impl SubnetManager {
         l: LinkId,
         parent: SpanCtx,
     ) -> Result<SweepReport, RouteError> {
+        // Same lifecycle contract as `fail_link_spanned`: retryable error,
+        // fabric view untouched, no panic.
+        if self.routes.is_none() || self.pathdb.is_none() {
+            return Err(RouteError::NotSwept("recover_link"));
+        }
         let mut sp = Span::under(parent, hxobs::track::OPENSM, 0, "recover_link", "route");
         sp.arg("link", hxobs::Json::from(l.0 as u64));
         sp.arg("engine", hxobs::Json::from(self.engine.name()));
@@ -488,22 +485,20 @@ impl SubnetManager {
             );
         }
         let try_incremental = self.incremental
-            && self.routes.is_some()
-            && self.pathdb.is_some()
             && self.topo.link(l).class != LinkClass::Terminal
             && !self.topo.is_active(l);
         self.topo.activate(l);
         if try_incremental {
-            if self.engine.incremental().is_some() {
-                if let Ok(r) = self.engine_patch(l, true, ctx) {
-                    sp.arg("repair", hxobs::Json::from("engine"));
-                    sp.set_epoch(r.epoch);
-                    sp.end();
-                    return Ok(r);
-                }
+            if let Ok(r) = self.engine_patch(l, true, ctx) {
+                sp.arg("repair", hxobs::Json::from("engine"));
+                sp.set_epoch(r.epoch);
+                sp.end();
+                return Ok(r);
             }
-            let candidates = self.recover_candidates(l);
-            if let Ok(r) = self.patch_trees(candidates, "recover", ctx) {
+            if let Ok(r) = self
+                .recover_candidates(l)
+                .and_then(|candidates| self.patch_trees(candidates, "recover", ctx))
+            {
                 sp.arg("repair", hxobs::Json::from("generic"));
                 sp.set_epoch(r.epoch);
                 sp.end();
@@ -533,12 +528,15 @@ impl SubnetManager {
     /// measured on the live forwarding state: LFT hop distances of the
     /// cable's endpoint switches differing by >= 2, or an endpoint that
     /// cannot reach the destination at all.
-    fn recover_candidates(&self, l: LinkId) -> Vec<Lid> {
-        let routes = self.routes.as_ref().expect("incremental needs routes");
+    fn recover_candidates(&self, l: LinkId) -> Result<Vec<Lid>, RouteError> {
+        let routes = self
+            .routes
+            .as_ref()
+            .ok_or(RouteError::NotSwept("recover_candidates"))?;
         let link = self.topo.link(l);
         let (Some(u), Some(v)) = (link.a.switch(), link.b.switch()) else {
             // Terminal cables are gated out by the caller.
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let isl_hops = |sw: SwitchId, lid: Lid| -> Option<u32> {
             let mut h = 0u32;
@@ -546,7 +544,7 @@ impl SubnetManager {
                 .ok()
                 .map(|_| h)
         };
-        routes
+        Ok(routes
             .lid_map
             .lids()
             .filter_map(|(lid, _)| {
@@ -558,7 +556,7 @@ impl SubnetManager {
                 };
                 improvable.then_some(lid)
             })
-            .collect()
+            .collect())
     }
 
     /// Repairs a cable with a full re-sweep, restoring the engine's exact
@@ -592,6 +590,187 @@ impl SubnetManager {
         }
         self.engine = engine;
         self.sweep()
+    }
+
+    /// A consistent, immutable view of the current routing epoch for
+    /// read-side consumers: topology, forwarding tables, and path store
+    /// glued together under one epoch stamp. Cheap to clone (three `Arc`s)
+    /// and safe to hand to other threads while this manager keeps churning.
+    /// Returns [`RouteError::NotSwept`] / [`RouteError::NoPathDb`] before
+    /// the first sweep — retryable, never a panic.
+    pub fn snapshot(&self) -> Result<FabricSnapshot, RouteError> {
+        let routes = self
+            .routes
+            .as_ref()
+            .ok_or(RouteError::NotSwept("snapshot"))?;
+        let pathdb = self.pathdb.clone().ok_or(RouteError::NoPathDb)?;
+        Ok(FabricSnapshot {
+            topo: Arc::new(self.topo.clone()),
+            routes: Arc::new(routes.clone()),
+            pathdb,
+        })
+    }
+}
+
+/// Load-aware destination-tree repair shared by the live incremental patch
+/// ([`SubnetManager::fail_link`] / [`SubnetManager::recover_link`]) and the
+/// speculative [`FabricSnapshot::what_if_fail`] query: each affected LID
+/// tree is rebuilt by a Dijkstra weighted with the current per-cable path
+/// counts, so the repair spreads detours without replaying the engine's
+/// balancing history. An empty `affected` set clones the routes unchanged
+/// (the epoch still advances at commit so consumers observe the event).
+fn repair_trees(
+    topo: &Topology,
+    routes: &Routes,
+    db: &PathDb,
+    affected: &[Lid],
+) -> Result<Routes, RouteError> {
+    if affected.is_empty() {
+        return Ok(routes.clone());
+    }
+    let weights = db.link_loads(topo);
+    let src_switches: Vec<SwitchId> = topo
+        .switches()
+        .filter(|&s| topo.attached_nodes(s).next().is_some())
+        .collect();
+    let mut new_routes = routes.clone();
+    for &lid in affected {
+        let owner = new_routes
+            .lid_map
+            .owner(lid)
+            .ok_or(RouteError::UnknownLid(lid))?;
+        let (dsw, dlink) = topo.node_switch(owner);
+        let tree = dijkstra_to_dest(topo, dsw, &weights, None);
+        for &s in &src_switches {
+            if !tree.reachable(s) {
+                return Err(RouteError::NoRoute { switch: s, lid });
+            }
+        }
+        install_tree(&mut new_routes, &tree, lid, dlink);
+    }
+    Ok(new_routes)
+}
+
+/// One routing epoch frozen for concurrent readers: the topology as the
+/// subnet manager saw it, the forwarding tables it installed, and the
+/// [`PathDb`] extracted from them. Produced by [`SubnetManager::snapshot`];
+/// the `hxd` service publishes one per epoch and readers pin it for the
+/// duration of a query, so a sweep racing the query can never tear the view.
+#[derive(Clone)]
+pub struct FabricSnapshot {
+    topo: Arc<Topology>,
+    routes: Arc<Routes>,
+    pathdb: Arc<PathDb>,
+}
+
+/// Answer to a speculative "what if cable `link` failed?" query, computed
+/// against a pinned [`FabricSnapshot`] without touching live state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReport {
+    /// The hypothetically failed cable.
+    pub link: LinkId,
+    /// Destination trees whose paths traverse the cable (the repair cost).
+    pub affected_trees: usize,
+    /// Whether losing the cable disconnects the fabric (or, for a terminal
+    /// cable, detaches a node — a membership change, not a reroute).
+    pub disconnects: bool,
+    /// Path statistics of the pinned epoch, before the hypothetical failure.
+    pub before: PathStats,
+    /// Path statistics after the speculative repair; `None` when the
+    /// failure disconnects.
+    pub after: Option<PathStats>,
+    /// Epoch the speculation was computed against.
+    pub epoch: u64,
+}
+
+impl FabricSnapshot {
+    /// Epoch stamp of this view (the path store's epoch).
+    pub fn epoch(&self) -> u64 {
+        self.pathdb.epoch()
+    }
+
+    /// Routing engine that produced this epoch's forwarding tables.
+    pub fn engine(&self) -> &'static str {
+        self.routes.engine
+    }
+
+    /// The frozen fabric view.
+    pub fn topo(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The frozen forwarding tables.
+    pub fn routes(&self) -> &Arc<Routes> {
+        &self.routes
+    }
+
+    /// The frozen path store.
+    pub fn pathdb(&self) -> &Arc<PathDb> {
+        &self.pathdb
+    }
+
+    /// Speculatively fails cable `l`: clones the frozen topology, repairs
+    /// the affected destination trees with the shared load-aware rule, and
+    /// rebuilds their path-store columns via [`PathDb::patched`] — live
+    /// state is never touched. Already-inactive cables are zero-impact (the
+    /// pinned epoch routes without them); terminal cables and disconnecting
+    /// failures report `disconnects` instead of repaired statistics. The
+    /// speculation skips the deadlock-freedom check — it is an advisory
+    /// estimate, not a commit.
+    pub fn what_if_fail(&self, l: LinkId) -> Result<WhatIfReport, RouteError> {
+        if l.0 as usize >= self.topo.num_links() {
+            return Err(RouteError::UnsupportedTopology(
+                "what-if cable out of range",
+            ));
+        }
+        let before = self.pathdb.stats();
+        let epoch = self.epoch();
+        if !self.topo.is_active(l) {
+            return Ok(WhatIfReport {
+                link: l,
+                affected_trees: 0,
+                disconnects: false,
+                after: Some(before.clone()),
+                before,
+                epoch,
+            });
+        }
+        let affected = self.pathdb.affected_by(l);
+        if self.topo.link(l).class == LinkClass::Terminal {
+            return Ok(WhatIfReport {
+                link: l,
+                affected_trees: affected.len(),
+                disconnects: true,
+                before,
+                after: None,
+                epoch,
+            });
+        }
+        let mut topo = (*self.topo).clone();
+        topo.deactivate(l);
+        let repaired = repair_trees(&topo, &self.routes, &self.pathdb, &affected)
+            .and_then(|r| self.pathdb.patched(&topo, &r, &affected));
+        match repaired {
+            Ok(db) => Ok(WhatIfReport {
+                link: l,
+                affected_trees: affected.len(),
+                disconnects: false,
+                before,
+                after: Some(db.stats()),
+                epoch,
+            }),
+            // A repair that cannot reach every source switch means the
+            // fabric falls apart without this cable.
+            Err(RouteError::NoRoute { .. }) => Ok(WhatIfReport {
+                link: l,
+                affected_trees: affected.len(),
+                disconnects: true,
+                before,
+                after: None,
+                epoch,
+            }),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -837,6 +1016,169 @@ mod tests {
         // Routing state untouched by the refused trigger.
         assert_eq!(sm.epoch(), epoch);
         assert!(sm.routes().is_some());
+    }
+
+    #[test]
+    fn misordered_lifecycle_errors_for_every_engine() {
+        // A daemon query or churn event racing bring-up must see a typed,
+        // retryable error — never a panic, never a mutated fabric view.
+        use crate::engines::{engine_by_name, ENGINE_NAMES};
+        for name in ENGINE_NAMES {
+            let mut sm = SubnetManager::new(hx(), engine_by_name(name).unwrap());
+            sm.verify = false;
+            let isl = sm
+                .topo()
+                .links()
+                .find(|(_, l)| l.class != LinkClass::Terminal)
+                .unwrap()
+                .0;
+            assert!(
+                matches!(sm.fail_link(isl), Err(RouteError::NotSwept("fail_link"))),
+                "{name}: fail_link before sweep must error"
+            );
+            assert!(
+                sm.topo().is_active(isl),
+                "{name}: rejected fail_link must not deactivate the cable"
+            );
+            assert!(
+                matches!(
+                    sm.recover_link(isl),
+                    Err(RouteError::NotSwept("recover_link"))
+                ),
+                "{name}: recover_link before sweep must error"
+            );
+            assert!(
+                matches!(sm.snapshot(), Err(RouteError::NotSwept("snapshot"))),
+                "{name}: snapshot before sweep must error"
+            );
+            // The error is retryable: after a sweep the same calls succeed.
+            sm.sweep().unwrap();
+            sm.fail_link(isl).unwrap();
+            sm.recover_link(isl).unwrap();
+        }
+    }
+
+    #[test]
+    fn capability_miss_falls_through_to_generic_patch() {
+        // SSSP owns no IncrementalRepair rule: the engine dispatch must
+        // yield the typed capability miss and the public fail path must
+        // still patch incrementally via the generic load-aware repair.
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        assert!(matches!(
+            sm.engine_patch(isl, false, SpanCtx::none()),
+            Err(RouteError::NoEngineRepair("sssp"))
+        ));
+        let r = sm.fail_link(isl).unwrap();
+        assert!(r.incremental, "generic patch must absorb the miss");
+    }
+
+    #[test]
+    fn snapshot_pins_one_epoch() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let snap = sm.snapshot().unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.engine(), "sssp");
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        sm.fail_link(isl).unwrap();
+        // The pinned view is immune to the churn that followed it.
+        assert_eq!(snap.epoch(), 1);
+        assert!(snap.topo().is_active(isl));
+        assert_eq!(sm.snapshot().unwrap().epoch(), 2);
+    }
+
+    #[test]
+    fn what_if_fail_speculates_without_mutating() {
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let snap = sm.snapshot().unwrap();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let w = snap.what_if_fail(isl).unwrap();
+        assert!(!w.disconnects);
+        assert_eq!(w.epoch, 1);
+        // Speculation answers what the live repair would do...
+        let after = w.after.unwrap();
+        assert_eq!(after.pairs, w.before.pairs);
+        // ...without touching the snapshot or the live manager.
+        assert!(snap.topo().is_active(isl));
+        assert!(sm.topo().is_active(isl));
+        assert_eq!(sm.epoch(), 1);
+        let live = sm.fail_link(isl).unwrap();
+        assert_eq!(live.paths, after, "speculation must match the live patch");
+
+        // Terminal cables are a membership change: report, don't repair.
+        let term = snap
+            .topo()
+            .links()
+            .find(|(_, l)| l.class == LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let w = snap.what_if_fail(term).unwrap();
+        assert!(w.disconnects);
+        assert!(w.after.is_none());
+
+        // Out-of-range cables are a typed error, not a panic.
+        let bogus = hxtopo::LinkId(snap.topo().num_links() as u32);
+        assert!(snap.what_if_fail(bogus).is_err());
+    }
+
+    #[test]
+    fn what_if_fail_reports_disconnection() {
+        // 1-D HyperX of 2 switches: the only ISL is a cut edge.
+        let topo = HyperXConfig::new(vec![2], 2).build();
+        let isl = topo
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        let mut sm = SubnetManager::new(topo, Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let snap = sm.snapshot().unwrap();
+        let w = snap.what_if_fail(isl).unwrap();
+        assert!(w.disconnects);
+        assert!(w.after.is_none());
+        // The speculation left live state intact: the real failure still
+        // rolls back.
+        assert!(sm.fail_link(isl).is_err());
+        assert!(sm.topo().is_active(isl));
+
+        // An already-dead cable is zero-impact: the epoch routes without it.
+        let mut sm = SubnetManager::new(hx(), Box::new(Sssp::default()));
+        sm.verify = false;
+        sm.sweep().unwrap();
+        let isl = sm
+            .topo()
+            .links()
+            .find(|(_, l)| l.class != LinkClass::Terminal)
+            .unwrap()
+            .0;
+        sm.fail_link(isl).unwrap();
+        let snap = sm.snapshot().unwrap();
+        let w = snap.what_if_fail(isl).unwrap();
+        assert!(!w.disconnects);
+        assert_eq!(w.affected_trees, 0);
+        assert_eq!(w.after.unwrap(), w.before);
     }
 
     #[test]
