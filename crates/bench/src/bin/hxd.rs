@@ -78,6 +78,7 @@ fn draw_query(rng: &mut ChaCha8Rng, num_nodes: u32, num_links: u32) -> Query {
         }
         70..=84 => Query::Place {
             ranks: rng.gen_range(2..=num_nodes / 4),
+            policy: hxcap::POLICY_KINDS[rng.gen_range(0..hxcap::POLICY_KINDS.len())],
         },
         85..=94 => Query::Stats,
         _ => Query::WhatIfFail {
@@ -131,6 +132,7 @@ fn serve(
             }
             Err(QueryError::Route(_)) => stats.errors += 1,
             Err(QueryError::BadQuery(m)) => panic!("malformed generated query: {m}"),
+            Err(QueryError::Place(e)) => panic!("malformed generated placement: {e}"),
         }
     }
     root.end();

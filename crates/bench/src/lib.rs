@@ -109,6 +109,10 @@ pub const HARNESSES: &[Harness] = &[
         about: "resident what-if query service over epoch snapshots",
     },
     Harness {
+        name: "capacity_scale",
+        about: "day-scale allocation stream: placement-policy tournament",
+    },
+    Harness {
         name: "hxperf",
         about: "benchmark-trajectory point + perf-regression gate",
     },

@@ -102,6 +102,11 @@ pub const ALL: &[Kernel] = &[
         about: "disabled-path overhead of span/counter/sketch call sites",
         collect: obs_disabled,
     },
+    Kernel {
+        name: "capacity_step",
+        about: "batch of day-scale allocator events (arrive/place/depart)",
+        collect: capacity_step,
+    },
 ];
 
 /// The measured plane: the paper's degraded 12x8 T=7 HyperX in full mode,
@@ -425,6 +430,7 @@ fn hxd_query(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
         .map(|i| match i % 16 {
             14 => hxcore::Query::Place {
                 ranks: 4 << (i / 16),
+                policy: hxcap::POLICY_KINDS[(i / 16) as usize % hxcap::POLICY_KINDS.len()],
             },
             15 => hxcore::Query::Stats,
             _ => {
@@ -483,4 +489,46 @@ fn obs_disabled(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>
         hxobs::flight::install(r);
     }
     (format!("callsites-x{OBS_BATCH}"), ns)
+}
+
+/// Allocation-stream events per timed iteration of `capacity_step`.
+const CAP_BATCH: usize = 64;
+
+/// The day-scale allocator transition: a fresh [`hxcore::ScaleStepper`]
+/// over the measured plane advances 64 events (Poisson arrival →
+/// network-aware placement, or departure → free-pool merge + FIFO
+/// retry). Interference checkpoints are disabled so the sample times the
+/// allocator machinery itself, not the max-min solver; the per-event
+/// cost is this sample divided by 64.
+fn capacity_step(quick: bool, warmup: usize, samples: usize) -> (String, Vec<f64>) {
+    let (topo, scale) = plane(quick);
+    let sys = hxcore::System::builder()
+        .plane(
+            "cap",
+            std::sync::Arc::new(topo),
+            Box::new(Dfsssp::default()),
+        )
+        .build()
+        .unwrap();
+    let cfg = hxcore::ScaleConfig {
+        interference_every: 0,
+        ..if quick {
+            hxcore::ScaleConfig::quick()
+        } else {
+            hxcore::ScaleConfig::full()
+        }
+    };
+    let ns = time_loop_batched(
+        warmup,
+        samples,
+        || hxcore::ScaleStepper::new(&sys, hxcap::PolicyKind::NetworkAware, cfg.clone(), 0xCA9),
+        |mut st| {
+            for _ in 0..CAP_BATCH {
+                if !st.step() {
+                    break;
+                }
+            }
+        },
+    );
+    (format!("{scale}xE{CAP_BATCH}"), ns)
 }

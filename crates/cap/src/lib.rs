@@ -1,19 +1,43 @@
-//! # hxcap — multi-application capacity (system throughput) simulation
+//! # hxcap — capacity mode: the multi-application scheduler and the
+//! fragmentation-aware job allocator
 //!
-//! Reproduces the paper's Section 4.4.2/5.3 experiment: 14 applications run
-//! concurrently for three hours, each on a dedicated 32- or 56-node set
-//! (664 of the 672 nodes, 98.8% occupancy), and the number of completed
-//! runs per application is compared across the five combos (Figure 7).
+//! Two layers of the paper's capacity-mode story live here:
 //!
-//! Interference model: every application contributes its average per-cable
-//! byte rate (from its skeleton's traffic accounting over its node set);
-//! where the summed rates oversubscribe a cable, the communication phases
-//! of every application crossing it dilate by the oversubscription factor.
-//! This captures the paper's inter-job bandwidth competition (Section 4.4.2
-//! cites Jain et al. on inter-job interference) while staying deterministic.
+//! * **The Figure-7 reproduction** ([`capacity`]): 14 applications run
+//!   concurrently for three hours on dedicated 32-/56-node sets (664 of
+//!   672 nodes), with inter-job bandwidth competition dilating every
+//!   communication phase — the paper's Section 4.4.2/5.3 experiment.
+//! * **The allocator subsystem** ([`alloc`], [`policy`],
+//!   [`mod@interference`]): a live [`Allocator`] tracking job
+//!   arrivals/departures over a quadrant-major node pool, three placement
+//!   policies (contiguous first-fit, scattered, network-aware
+//!   candidate-slate scoring), a fragmentation index over the free pool,
+//!   and solver-backed victim/aggressor interference metrics. This is the
+//!   machinery behind the `capacity_scale` day-scale harness and the
+//!   `hxd` service's `place(k, policy)` query (DESIGN.md §15).
+//!
+//! Interference model of the Figure-7 layer: every application
+//! contributes its average per-cable byte rate; where summed rates
+//! oversubscribe a cable, communication phases dilate by the
+//! oversubscription factor. The allocator layer replaces that static
+//! model with per-job ring flows rated by the exact max-min
+//! [`hxsim::solver`] kernel.
 
+#![deny(missing_docs)]
+
+pub mod alloc;
 pub mod capacity;
+pub mod interference;
 pub mod place;
+pub mod policy;
 
+pub use alloc::{Allocator, JobId, LiveJob};
 pub use capacity::{paper_mix, run_capacity, AppResult, AppSlot, CapacityConfig, CapacityResult};
-pub use place::{place_ranks, quadrant_pool_order, Placed};
+pub use interference::{
+    interference, interference_planes, pairwise_loss, InterferenceReport, JobInterference,
+};
+pub use place::{place_ranks, place_ranks_with, quadrant_pool_order, PlaceError, Placed};
+pub use policy::{
+    mean_pairwise_isl_hops, ring_links, Contiguous, NetworkAware, PlacementPolicy, PolicyKind,
+    PoolView, Scattered, POLICY_KINDS, POLICY_NAMES,
+};

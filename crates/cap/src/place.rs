@@ -4,18 +4,54 @@
 //! ordered node pool; the PARX evaluation shows locality within a HyperX
 //! quadrant is what keeps a job off the congested long dimensions. This
 //! module combines the two: order the pool quadrant-major (so a `k`-node
-//! slice spans as few quadrants as possible), take the first `k` free
-//! nodes, and score the result by mean pairwise ISL hops measured on the
-//! epoch's path store — the same metric Table 1 optimizes per message.
+//! slice spans as few quadrants as possible), select `k` free nodes under
+//! a [`PlacementPolicy`](crate::PlacementPolicy), and score the result by
+//! mean pairwise ISL hops measured on the epoch's path store — the same
+//! metric Table 1 optimizes per message.
 
+use crate::policy::{mean_pairwise_isl_hops, PolicyKind, PoolView};
 use hxroute::{PathDb, Routes};
 use hxtopo::{NodeId, SwitchId, Topology};
+
+/// Why a placement request could not be satisfied. Typed, like the
+/// routing layer's [`hxroute::RouteError`]: callers can tell a malformed
+/// request ([`PlaceError::ZeroRanks`]) from an exhausted pool
+/// ([`PlaceError::Insufficient`]) without parsing strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// A zero-rank job was requested; retrying cannot succeed.
+    ZeroRanks,
+    /// The free pool cannot satisfy the request right now. Retryable: a
+    /// departure may free enough nodes.
+    Insufficient {
+        /// Ranks requested.
+        requested: usize,
+        /// Free nodes available when the request was refused.
+        free: usize,
+    },
+    /// The job id names no live job (already departed, or never placed).
+    UnknownJob(u64),
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::ZeroRanks => write!(f, "zero-rank job"),
+            PlaceError::Insufficient { requested, free } => {
+                write!(f, "pool cannot satisfy {requested} ranks ({free} free)")
+            }
+            PlaceError::UnknownJob(id) => write!(f, "job {id} is not live"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
 
 /// A `place(k)` answer: the chosen nodes plus the locality score of the
 /// slice, measured against one path-store epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placed {
-    /// Chosen nodes, in pool order (quadrant-major on a 2-D HyperX).
+    /// Chosen nodes, in placement order.
     pub nodes: Vec<NodeId>,
     /// Mean pairwise switch-to-switch hops across all ordered pairs of the
     /// slice (0.0 for a single-rank job).
@@ -60,41 +96,50 @@ fn quadrant_spread(topo: &Topology, nodes: &[NodeId]) -> u32 {
     seen.iter().filter(|&&s| s).count() as u32
 }
 
-/// Places a `k`-rank job on the fabric: slices the first `k` nodes off the
-/// quadrant-major pool and scores the slice by mean pairwise ISL hops on
-/// the given path-store epoch. Returns `None` when `k` is zero or exceeds
-/// the node count — a malformed query, not a fabric fault.
-pub fn place_ranks(topo: &Topology, routes: &Routes, db: &PathDb, k: usize) -> Option<Placed> {
-    if k == 0 || k > topo.num_nodes() {
-        return None;
-    }
-    let nodes: Vec<NodeId> = quadrant_pool_order(topo).into_iter().take(k).collect();
-    let mut hops_sum = 0u64;
-    let mut pairs = 0u64;
-    let mut scratch = Vec::new();
-    for &src in &nodes {
-        for &dst in &nodes {
-            if src == dst {
-                continue;
-            }
-            let lid = routes.lid_map.base(dst);
-            if db.node_path_into(src, lid, &mut scratch) {
-                hops_sum += scratch.len().saturating_sub(2) as u64;
-                pairs += 1;
-            }
-        }
-    }
-    let mean_isl_hops = if pairs == 0 {
-        0.0
-    } else {
-        hops_sum as f64 / pairs as f64
+/// Places a `k`-rank job on an idle fabric under the given policy and
+/// scores the slice by mean pairwise ISL hops on the given path-store
+/// epoch. `seed` feeds the scattered draw (and the network-aware slate's
+/// scattered candidate); contiguous placement ignores it. Refusals are
+/// typed: [`PlaceError::ZeroRanks`] for a malformed request,
+/// [`PlaceError::Insufficient`] when the plane is smaller than the job.
+pub fn place_ranks_with(
+    topo: &Topology,
+    routes: &Routes,
+    db: &PathDb,
+    k: usize,
+    policy: PolicyKind,
+    seed: u64,
+) -> Result<Placed, PlaceError> {
+    let pool = quadrant_pool_order(topo);
+    let free = vec![true; pool.len()];
+    let link_share = vec![0u32; topo.num_links() * 2];
+    let view = PoolView {
+        topo,
+        routes,
+        db,
+        pool: &pool,
+        free: &free,
+        link_share: &link_share,
     };
+    let nodes = policy.policy().select(&view, k, seed)?;
+    let mean_isl_hops = mean_pairwise_isl_hops(topo, routes, db, &nodes);
     let quadrant_spread = quadrant_spread(topo, &nodes);
-    Some(Placed {
+    Ok(Placed {
         nodes,
         mean_isl_hops,
         quadrant_spread,
     })
+}
+
+/// Places a `k`-rank job with the default contiguous (quadrant-major)
+/// policy — the historical `place(k)` behaviour.
+pub fn place_ranks(
+    topo: &Topology,
+    routes: &Routes,
+    db: &PathDb,
+    k: usize,
+) -> Result<Placed, PlaceError> {
+    place_ranks_with(topo, routes, db, k, PolicyKind::Contiguous, 0)
 }
 
 #[cfg(test)]
@@ -142,11 +187,32 @@ mod tests {
     }
 
     #[test]
-    fn malformed_sizes_are_rejected() {
+    fn malformed_sizes_are_typed_errors() {
         let topo = HyperXConfig::new(vec![4, 4], 2).build();
         let (routes, db) = swept(&topo);
-        assert!(place_ranks(&topo, &routes, &db, 0).is_none());
-        assert!(place_ranks(&topo, &routes, &db, topo.num_nodes() + 1).is_none());
+        assert_eq!(
+            place_ranks(&topo, &routes, &db, 0),
+            Err(PlaceError::ZeroRanks)
+        );
+        assert_eq!(
+            place_ranks(&topo, &routes, &db, topo.num_nodes() + 1),
+            Err(PlaceError::Insufficient {
+                requested: topo.num_nodes() + 1,
+                free: topo.num_nodes()
+            })
+        );
+    }
+
+    #[test]
+    fn policies_change_the_placement() {
+        let topo = HyperXConfig::new(vec![4, 4], 2).build();
+        let (routes, db) = swept(&topo);
+        let tight = place_ranks_with(&topo, &routes, &db, 8, PolicyKind::Contiguous, 1).unwrap();
+        let loose = place_ranks_with(&topo, &routes, &db, 8, PolicyKind::Scattered, 1).unwrap();
+        assert_ne!(tight.nodes, loose.nodes);
+        assert!(tight.mean_isl_hops <= loose.mean_isl_hops);
+        let aware = place_ranks_with(&topo, &routes, &db, 8, PolicyKind::NetworkAware, 1).unwrap();
+        assert!(aware.mean_isl_hops <= loose.mean_isl_hops + 1e-9);
     }
 
     #[test]

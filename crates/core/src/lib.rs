@@ -60,7 +60,9 @@ pub use campaign::{
     engine_from_env_or, run_campaign, with_stepper, CampaignConfig, CampaignReport,
     CampaignStepper, StepReport,
 };
-pub use capacity::run_capacity_combo;
+pub use capacity::{
+    run_capacity_combo, run_capacity_scale, ScaleConfig, ScaleReport, ScaleStepper,
+};
 pub use combos::Combo;
 pub use experiment::{Runner, Samples};
 pub use multiplane::{

@@ -53,11 +53,16 @@ pub enum Query {
         /// The hypothetical victim cable.
         link: u32,
     },
-    /// Quadrant-aware placement of a `ranks`-rank job (see
-    /// [`hxcap::place_ranks`]).
+    /// Placement of a `ranks`-rank job under a named policy (see
+    /// [`hxcap::place_ranks_with`]). The scattered draw (and the
+    /// network-aware slate's scattered candidate) is seeded with the
+    /// pinned epoch, so one epoch always answers one way — cacheable like
+    /// every other query.
     Place {
         /// Job size in ranks.
         ranks: u32,
+        /// Placement policy to select with.
+        policy: hxcap::PolicyKind,
     },
     /// Aggregate path statistics of the pinned epoch.
     Stats,
@@ -109,7 +114,9 @@ pub enum Answer {
     Place {
         /// Epoch the placement was scored against.
         epoch: u64,
-        /// Chosen ranks, in quadrant-major pool order.
+        /// Policy that selected the slice (registry name).
+        policy: &'static str,
+        /// Chosen ranks, in placement order.
         nodes: Vec<u32>,
         /// Mean pairwise ISL hops across the slice.
         mean_isl_hops: f64,
@@ -185,12 +192,16 @@ impl Answer {
             }
             Answer::Place {
                 epoch,
+                policy,
                 nodes,
                 mean_isl_hops,
                 quadrant_spread,
             } => {
                 eat(3);
                 eat(*epoch);
+                for b in policy.as_bytes() {
+                    eat(*b as u64);
+                }
                 eat(mean_isl_hops.to_bits());
                 eat(*quadrant_spread as u64);
                 for &n in nodes {
@@ -227,8 +238,12 @@ pub enum QueryError {
     /// The routing layer refused (retryable when
     /// [`RouteError::NotSwept`] / [`RouteError::NoPathDb`]).
     Route(RouteError),
-    /// The request itself is malformed (rank or cable out of range, zero
-    /// job size); retrying the same query cannot succeed.
+    /// The placement layer refused (typed: a zero-rank request can never
+    /// succeed, an [`hxcap::PlaceError::Insufficient`] pool might after a
+    /// departure).
+    Place(hxcap::PlaceError),
+    /// The request itself is malformed (rank or cable out of range);
+    /// retrying the same query cannot succeed.
     BadQuery(&'static str),
 }
 
@@ -236,6 +251,7 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::Route(e) => write!(f, "routing: {e}"),
+            QueryError::Place(e) => write!(f, "placement: {e}"),
             QueryError::BadQuery(m) => write!(f, "bad query: {m}"),
         }
     }
@@ -246,6 +262,12 @@ impl std::error::Error for QueryError {}
 impl From<RouteError> for QueryError {
     fn from(e: RouteError) -> QueryError {
         QueryError::Route(e)
+    }
+}
+
+impl From<hxcap::PlaceError> for QueryError {
+    fn from(e: hxcap::PlaceError) -> QueryError {
+        QueryError::Place(e)
     }
 }
 
@@ -455,12 +477,18 @@ impl ServiceReader<'_> {
                     avg_after: w.after.map(|s| s.avg_isl_hops),
                 })
             }
-            Query::Place { ranks } => {
-                let placed =
-                    hxcap::place_ranks(snap.topo(), snap.routes(), snap.pathdb(), ranks as usize)
-                        .ok_or(QueryError::BadQuery("job size out of range"))?;
+            Query::Place { ranks, policy } => {
+                let placed = hxcap::place_ranks_with(
+                    snap.topo(),
+                    snap.routes(),
+                    snap.pathdb(),
+                    ranks as usize,
+                    policy,
+                    epoch,
+                )?;
                 Ok(Answer::Place {
                     epoch,
+                    policy: policy.name(),
                     nodes: placed.nodes.iter().map(|n| n.0).collect(),
                     mean_isl_hops: placed.mean_isl_hops,
                     quadrant_spread: placed.quadrant_spread,
@@ -522,10 +550,16 @@ mod tests {
         };
         assert_eq!(pairs, 32 * 31);
         assert_eq!(engine, "sssp");
-        let p = r.query(&Query::Place { ranks: 8 }).unwrap();
+        let p = r
+            .query(&Query::Place {
+                ranks: 8,
+                policy: hxcap::PolicyKind::Contiguous,
+            })
+            .unwrap();
         let Answer::Place {
             nodes,
             quadrant_spread,
+            policy,
             ..
         } = p
         else {
@@ -533,6 +567,38 @@ mod tests {
         };
         assert_eq!(nodes.len(), 8);
         assert_eq!(quadrant_spread, 1);
+        assert_eq!(policy, "contiguous");
+    }
+
+    #[test]
+    fn policies_are_distinct_cached_queries() {
+        let sm = swept();
+        let svc = FabricService::from_manager(&sm).unwrap();
+        let mut r = svc.reader();
+        let answers: Vec<Answer> = hxcap::POLICY_KINDS
+            .iter()
+            .map(|&policy| r.query(&Query::Place { ranks: 8, policy }).unwrap())
+            .collect();
+        // Each policy is its own cache key and fingerprint.
+        let fps: std::collections::BTreeSet<u64> =
+            answers.iter().map(|a| a.fingerprint()).collect();
+        assert_eq!(fps.len(), 3, "policies must fingerprint apart");
+        assert_eq!(svc.cache_stats().1, 3);
+        // Asking again hits the cache per policy.
+        for &policy in hxcap::POLICY_KINDS.iter() {
+            r.query(&Query::Place { ranks: 8, policy }).unwrap();
+        }
+        assert_eq!(svc.cache_stats().0, 3);
+        // The scattered draw is seeded by the epoch: same epoch, same
+        // answer, even through a fresh reader with a cold cache.
+        let mut r2 = svc.reader();
+        let again = r2
+            .query(&Query::Place {
+                ranks: 8,
+                policy: hxcap::PolicyKind::Scattered,
+            })
+            .unwrap();
+        assert_eq!(again.fingerprint(), answers[1].fingerprint());
     }
 
     #[test]
@@ -589,11 +655,19 @@ mod tests {
             Err(QueryError::BadQuery(_))
         ));
         assert!(matches!(
-            r.query(&Query::Place { ranks: 0 }),
-            Err(QueryError::BadQuery(_))
+            r.query(&Query::Place {
+                ranks: 0,
+                policy: hxcap::PolicyKind::Contiguous,
+            }),
+            Err(QueryError::Place(hxcap::PlaceError::ZeroRanks))
         ));
         let (_, misses_before) = svc.cache_stats();
-        assert!(r.query(&Query::Place { ranks: 0 }).is_err());
+        assert!(r
+            .query(&Query::Place {
+                ranks: 0,
+                policy: hxcap::PolicyKind::Contiguous,
+            })
+            .is_err());
         assert_eq!(svc.cache_stats().1, misses_before + 1, "errors not cached");
     }
 
@@ -605,7 +679,10 @@ mod tests {
         let mut r2 = svc.reader();
         for q in [
             Query::Resolve { src: 1, dst: 30 },
-            Query::Place { ranks: 12 },
+            Query::Place {
+                ranks: 12,
+                policy: hxcap::PolicyKind::NetworkAware,
+            },
             Query::Stats,
         ] {
             let a = r1.query(&q).unwrap();

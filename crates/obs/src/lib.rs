@@ -61,6 +61,9 @@ pub mod track {
     /// The resident `hxd` query service's wall-clock track; reader
     /// threads use their reader index as the tid within it.
     pub const HXD: u32 = 1003;
+    /// The capacity allocator's wall-clock track; `capacity_scale` runs
+    /// use the placement-policy index as the tid within it.
+    pub const CAP: u32 = 1004;
 }
 
 /// Sink for metric updates and trace events. The default methods all
